@@ -1,0 +1,81 @@
+// Ablation — simulator machinery: BGP convergence cost vs topology scale,
+// and the GR model's per-destination computation cost (the design choice of
+// computing GR route classes analytically instead of re-simulating BGP on
+// the inferred graph).
+#include "bench_common.hpp"
+#include "core/gr_model.hpp"
+#include "topo/generator.hpp"
+
+namespace {
+
+using namespace irp;
+
+GeneratorConfig scaled_config(int scale) {
+  GeneratorConfig config;
+  config.seed = 4242;
+  config.world.countries_per_continent = 2 + scale;
+  config.stubs_per_country = 4 * scale;
+  config.small_isps_per_country = scale;
+  config.large_isps_per_continent = 2 + 2 * scale;
+  config.content_orgs = 4 + 2 * scale;
+  return config;
+}
+
+void print_scaling() {
+  const auto& r = bench::shared_study();
+  std::printf("== Ablation: simulator scaling ==\n\n");
+  std::printf("Full-scale study: %zu ASes, %zu links, %zu decisions.\n",
+              r.net->topology.num_ases(), r.net->topology.num_links(),
+              r.passive.decisions.size());
+  std::printf(
+      "GR route classes are computed analytically per destination (three\n"
+      "relaxation stages, O(E log V)); the benchmarks below quantify that\n"
+      "choice against full BGP convergence per prefix.\n\n");
+}
+
+void BM_EngineConvergencePerPrefix(benchmark::State& state) {
+  const auto net = generate_internet(scaled_config(int(state.range(0))));
+  GroundTruthPolicy policy{&net->topology};
+  // Announce one prefix from a stub and converge; repeat per iteration.
+  const Asn origin = net->stubs[0];
+  const Ipv4Prefix prefix = net->topology.as_node(origin).prefixes[0].prefix;
+  std::size_t messages = 0;
+  for (auto _ : state) {
+    BgpEngine engine{&net->topology, &policy, net->measurement_epoch};
+    engine.announce(prefix, origin);
+    engine.run();
+    messages = engine.messages_delivered();
+    benchmark::DoNotOptimize(messages);
+  }
+  state.counters["ases"] = double(net->topology.num_ases());
+  state.counters["messages"] = double(messages);
+}
+BENCHMARK(BM_EngineConvergencePerPrefix)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GrModelComputePerDestination(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  GrModel model{&r.passive.inferred, r.net->topology.num_ases()};
+  Asn dest = r.net->content_asns[0];
+  for (auto _ : state) benchmark::DoNotOptimize(model.compute(dest));
+}
+BENCHMARK(BM_GrModelComputePerDestination);
+
+void BM_GrModelWithPspFilter(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  GrModel model{&r.passive.inferred, r.net->topology.num_ases()};
+  const Asn dest = r.net->content_asns[0];
+  const auto filter = [](Asn neighbor) { return neighbor % 2 == 0; };
+  for (auto _ : state) benchmark::DoNotOptimize(model.compute(dest, filter));
+}
+BENCHMARK(BM_GrModelWithPspFilter);
+
+void BM_GenerateInternet(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(generate_internet(scaled_config(2)));
+}
+BENCHMARK(BM_GenerateInternet)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_scaling)

@@ -1,0 +1,95 @@
+// Ablation — snapshot aggregation depth (§3.3).
+//
+// The paper aggregates five monthly CAIDA snapshots with a recency-weighted
+// majority vote. This ablation measures what that buys: relationship
+// accuracy against ground truth when aggregating 1, 3, or all 5 snapshots,
+// and how many stale links each choice drags along.
+#include <map>
+
+#include "bench_common.hpp"
+#include "inference/relationships.hpp"
+
+namespace {
+
+using namespace irp;
+
+struct Accuracy {
+  std::size_t comparable = 0;
+  std::size_t correct = 0;
+  std::size_t stale = 0;
+  double rate() const {
+    return comparable == 0 ? 0.0 : double(correct) / double(comparable);
+  }
+};
+
+Accuracy accuracy_of(const InferredTopology& inferred,
+                     const GeneratedInternet& net) {
+  std::map<std::pair<Asn, Asn>, std::set<Relationship>> truth;
+  net.topology.for_each_link([&](const Link& l) {
+    if (!net.topology.link_alive(l, net.measurement_epoch)) return;
+    const Asn a = std::min(l.a, l.b), b = std::max(l.a, l.b);
+    truth[{a, b}].insert(l.a == a ? l.rel_of_b_from_a
+                                  : reverse(l.rel_of_b_from_a));
+  });
+  Accuracy acc;
+  for (const auto& [pair, rel] : inferred.links()) {
+    auto it = truth.find(pair);
+    if (it == truth.end()) {
+      ++acc.stale;  // Not alive at measurement: stale or unknown.
+      continue;
+    }
+    if (it->second.size() != 1) continue;
+    const Relationship t = *it->second.begin();
+    if (t == Relationship::kSibling) continue;
+    ++acc.comparable;
+    if (*inferred.relationship(pair.first, pair.second) == t) ++acc.correct;
+  }
+  return acc;
+}
+
+void print_ablation() {
+  const auto& r = bench::shared_study();
+  std::printf("== Ablation: snapshot aggregation depth (§3.3) ==\n\n");
+  const auto& snaps = r.passive.snapshots;
+  for (std::size_t depth : {std::size_t{1}, std::size_t{3}, snaps.size()}) {
+    if (depth > snaps.size()) continue;
+    std::vector<InferredTopology> window(snaps.end() - long(depth),
+                                         snaps.end());
+    const auto agg = aggregate_snapshots(window);
+    const auto acc = accuracy_of(agg, *r.net);
+    std::printf(
+        "  last %zu snapshot(s): %zu links, accuracy %s, stale links %zu\n",
+        depth, agg.num_links(), percent(acc.rate()).c_str(), acc.stale);
+  }
+  std::printf(
+      "\nAggregating more months adds coverage (links missed in a single\n"
+      "month) at the cost of stale links — exactly the trade-off behind the\n"
+      "paper's Netflix/AS3549 stale-link finding.\n\n");
+}
+
+void BM_InferSingleSnapshot(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const auto& paths = r.passive.corpus.paths(r.net->measurement_epoch);
+  for (auto _ : state) benchmark::DoNotOptimize(infer_snapshot(paths));
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(paths.size()));
+}
+BENCHMARK(BM_InferSingleSnapshot)->Unit(benchmark::kMillisecond);
+
+void BM_AggregateFiveSnapshots(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(aggregate_snapshots(r.passive.snapshots));
+}
+BENCHMARK(BM_AggregateFiveSnapshots)->Unit(benchmark::kMillisecond);
+
+void BM_TransitDegrees(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const auto& paths = r.passive.corpus.paths(r.net->measurement_epoch);
+  for (auto _ : state) benchmark::DoNotOptimize(transit_degrees(paths));
+}
+BENCHMARK(BM_TransitDegrees)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_ablation)

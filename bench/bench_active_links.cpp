@@ -1,0 +1,54 @@
+// §3.2 dataset — inter-AS links observed via the active experiments: how
+// many are missing from the inferred relationship database, and how many are
+// only visible through poisoned announcements.
+#include "bench_common.hpp"
+#include "core/active_study.hpp"
+
+namespace {
+
+using namespace irp;
+
+void print_links() {
+  const auto& r = bench::shared_study();
+  const auto& a = r.alternate;
+  std::printf("== §3.2: links exposed by active measurement ==\n\n");
+  bench::compare_line("inter-AS links observed", "739",
+                      std::to_string(a.links_observed));
+  bench::compare_line("links not in the relationship DB", "45",
+                      std::to_string(a.links_not_in_db));
+  const double frac = a.links_not_in_db == 0
+                          ? 0.0
+                          : double(a.links_poison_only) /
+                                double(a.links_not_in_db);
+  bench::compare_line("of those, only visible when poisoning", "22.2%",
+                      percent(frac) + " (" +
+                          std::to_string(a.links_poison_only) + ")");
+  std::printf("\n");
+}
+
+void BM_AnnounceAndConvergeTestbedPrefix(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  GroundTruthPolicy policy{&r.net->topology};
+  for (auto _ : state) {
+    BgpEngine engine{&r.net->topology, &policy, r.net->measurement_epoch};
+    engine.announce(r.net->testbed_prefixes[0], r.net->testbed_asn);
+    engine.run();
+    benchmark::DoNotOptimize(engine.messages_delivered());
+  }
+}
+BENCHMARK(BM_AnnounceAndConvergeTestbedPrefix)->Unit(benchmark::kMillisecond);
+
+void BM_VantageSelection(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  std::set<Asn> candidates;
+  for (const auto& p : r.passive.probes) candidates.insert(p.asn);
+  const std::vector<Asn> list{candidates.begin(), candidates.end()};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ActiveExperiment::select_vantages(
+        *r.net, *r.passive.policy, list, 96));
+}
+BENCHMARK(BM_VantageSelection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_links)

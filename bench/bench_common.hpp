@@ -1,0 +1,50 @@
+// Shared infrastructure for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure of the paper: it runs
+// the full study once (cached across benchmark registrations), prints the
+// paper's reported values next to the reproduction, and then times the
+// computational pieces behind that experiment with google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/study.hpp"
+#include "util/strings.hpp"
+
+namespace irp::bench {
+
+/// The full-scale study, computed once per binary.
+inline const StudyResults& shared_study() {
+  static const StudyResults results = [] {
+    StudyConfig config;
+    return run_full_study(config);
+  }();
+  return results;
+}
+
+/// Pretty "paper vs reproduction" line.
+inline void compare_line(const char* label, const std::string& paper,
+                         const std::string& ours) {
+  std::printf("  %-42s paper: %-12s reproduction: %s\n", label, paper.c_str(),
+              ours.c_str());
+}
+
+/// Runs benchmark's main loop after the table has been printed.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace irp::bench
+
+/// Standard main: print the reproduction first, then timings.
+#define IRP_BENCH_MAIN(print_fn)                  \
+  int main(int argc, char** argv) {               \
+    print_fn();                                   \
+    return ::irp::bench::run_benchmarks(argc, argv); \
+  }

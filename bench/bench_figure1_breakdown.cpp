@@ -1,0 +1,93 @@
+// Figure 1 — breakdown of routing decisions across the refinement ladder
+// (Simple, Complex, Sibs, PSP-1, PSP-2, All-1, All-2).
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace {
+
+using namespace irp;
+
+void print_figure1() {
+  const auto& r = bench::shared_study();
+  std::printf("== Figure 1: decision breakdown per scenario ==\n");
+  std::printf("%s\n", render_figure1(r.figure1).render().c_str());
+
+  std::vector<StackedBar> bars;
+  for (const auto& [name, b] : r.figure1.scenarios) {
+    StackedBar bar;
+    bar.label = name;
+    for (DecisionCategory c : kAllCategories)
+      bar.segments.push_back(b.share(c));
+    bars.push_back(std::move(bar));
+  }
+  std::printf("%s", render_stacked_bars(bars, {'#', '-', '=', '.'}).c_str());
+  std::printf("  # Best/Short   - NonBest/Short   = Best/Long   ."
+              " NonBest/Long\n\n");
+
+  const auto share = [&](int i, DecisionCategory c) {
+    return r.figure1.scenarios[i].second.share(c);
+  };
+  bench::compare_line("Simple Best/Short", "64.7%",
+                      percent(share(0, DecisionCategory::kBestShort)));
+  bench::compare_line("Simple violations (not Best/Short)", "34.3%",
+                      percent(r.figure1.scenarios[0].second.violation_share()));
+  bench::compare_line("Simple NonBest/Long", "8.3%",
+                      percent(share(0, DecisionCategory::kNonBestLong)));
+  bench::compare_line(
+      "Complex effect on Best/Short", "<1% change",
+      percent(share(1, DecisionCategory::kBestShort) -
+              share(0, DecisionCategory::kBestShort)));
+  bench::compare_line(
+      "Sibs gain in Best/Short", "+3.9%",
+      percent(share(2, DecisionCategory::kBestShort) -
+              share(0, DecisionCategory::kBestShort)));
+  bench::compare_line("All-1 Best/Short", "85.7%",
+                      percent(share(5, DecisionCategory::kBestShort)));
+  bench::compare_line("All-2 Best/Short", "75.7%",
+                      percent(share(6, DecisionCategory::kBestShort)));
+  std::printf("\n");
+}
+
+void BM_ClassifySimple(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const DecisionClassifier classifier = make_classifier(r.passive);
+  const ScenarioOptions simple;
+  for (auto _ : state) {
+    std::size_t violations = 0;
+    for (const auto& d : r.passive.decisions)
+      violations += is_violation(classifier.classify(d, simple)) ? 1 : 0;
+    benchmark::DoNotOptimize(violations);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(r.passive.decisions.size()));
+}
+BENCHMARK(BM_ClassifySimple);
+
+void BM_ClassifyWithPspCriteria1(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const DecisionClassifier classifier = make_classifier(r.passive);
+  const ScenarioOptions psp{.psp = PspMode::kCriteria1};
+  for (auto _ : state) {
+    std::size_t violations = 0;
+    for (const auto& d : r.passive.decisions)
+      violations += is_violation(classifier.classify(d, psp)) ? 1 : 0;
+    benchmark::DoNotOptimize(violations);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(r.passive.decisions.size()));
+}
+BENCHMARK(BM_ClassifyWithPspCriteria1);
+
+void BM_FullRefinementLadder(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  for (auto _ : state) {
+    const DecisionClassifier classifier = make_classifier(r.passive);
+    benchmark::DoNotOptimize(compute_figure1(r.passive, classifier));
+  }
+}
+BENCHMARK(BM_FullRefinementLadder);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_figure1)

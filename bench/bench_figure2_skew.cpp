@@ -1,0 +1,92 @@
+// Figure 2 — skew of violations across source and destination ASes (§5).
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace {
+
+using namespace irp;
+
+void print_figure2() {
+  const auto& r = bench::shared_study();
+  std::printf("== Figure 2: violation skew across source/destination ==\n\n");
+
+  // The paper's panel (b): cumulative violation fraction against ranked
+  // destination ASes, one curve per violation type.
+  std::vector<CurveSeries> curves;
+  for (const auto& [cat, tc] : r.skew.curves) {
+    CurveSeries series;
+    series.label = std::string(decision_category_name(cat)) + " (by dest)";
+    for (const auto& p : tc.by_dest)
+      series.points.emplace_back(double(p.rank), p.cumulative);
+    curves.push_back(std::move(series));
+  }
+  std::printf("%s\n", render_curves(curves, {'*', 'o', '+'}).c_str());
+
+  std::printf("Cumulative violation share at rank k (destination ASes):\n");
+  // Merge the per-type curves into a headline: NonBest/Short by dest.
+  const auto it = r.skew.curves.find(DecisionCategory::kNonBestShort);
+  if (it != r.skew.curves.end() && !it->second.by_dest.empty()) {
+    const auto& curve = it->second.by_dest;
+    for (std::size_t rank : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                             std::size_t{10}}) {
+      if (rank > curve.size()) break;
+      std::printf("  top-%zu destinations: %s of NonBest/Short violations\n",
+                  rank, percent(curve[rank - 1].cumulative).c_str());
+    }
+  }
+
+  std::printf("\nViolations by destination content service:\n");
+  for (std::size_t i = 0; i < r.skew.top_dest_services.size() && i < 5; ++i)
+    std::printf("  %-24s %s\n", r.skew.top_dest_services[i].first.c_str(),
+                percent(r.skew.top_dest_services[i].second).c_str());
+
+  std::printf("\n");
+  bench::compare_line("top content destination share", "21% (Akamai)",
+                      r.skew.top_dest_services.empty()
+                          ? "-"
+                          : percent(r.skew.top_dest_services[0].second));
+  bench::compare_line(
+      "second content destination share", "17% (Netflix)",
+      r.skew.top_dest_services.size() < 2
+          ? "-"
+          : percent(r.skew.top_dest_services[1].second));
+  bench::compare_line(
+      ("stale-link share for " + r.skew.second_service_name).c_str(),
+      "24% (stale AS3549 link)",
+      percent(r.skew.stale_fraction_second_service));
+  bench::compare_line("source skew < destination skew", "yes",
+                      r.skew.gini_sources < r.skew.gini_dests ? "yes" : "no");
+  std::printf("  gini(sources)=%.2f gini(destinations)=%.2f\n\n",
+              r.skew.gini_sources, r.skew.gini_dests);
+}
+
+void BM_ComputeSkew(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const DecisionClassifier classifier = make_classifier(r.passive);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_skew(r.passive, *r.net, classifier));
+}
+BENCHMARK(BM_ComputeSkew);
+
+void BM_PruneStaleLinks(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prune_stale_links(r.passive.inferred,
+                                               r.net->neighbor_history,
+                                               r.net->measurement_epoch));
+}
+BENCHMARK(BM_PruneStaleLinks);
+
+void BM_RankedCdf(benchmark::State& state) {
+  std::vector<std::size_t> counts;
+  Rng rng{3};
+  for (int i = 0; i < 5000; ++i)
+    counts.push_back(rng.zipf(1000, 1.1) + 1);
+  for (auto _ : state) benchmark::DoNotOptimize(ranked_cdf(counts));
+}
+BENCHMARK(BM_RankedCdf);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_figure2)

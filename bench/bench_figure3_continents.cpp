@@ -1,0 +1,68 @@
+// Figure 3 — decision breakdown for continental vs intercontinental
+// traceroutes (§6).
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace {
+
+using namespace irp;
+
+void print_figure3() {
+  const auto& r = bench::shared_study();
+  std::printf("== Figure 3: geography of routing decisions ==\n");
+  std::printf("%s\n", render_figure3(r.figure3).render().c_str());
+
+  std::vector<StackedBar> bars;
+  auto add_bar = [&](const std::string& label, const CategoryBreakdown& b) {
+    StackedBar bar;
+    bar.label = label;
+    for (DecisionCategory c : kAllCategories) bar.segments.push_back(b.share(c));
+    bars.push_back(std::move(bar));
+  };
+  for (const auto& [continent, b] : r.figure3.per_continent)
+    add_bar(std::string(continent_code(continent)), b);
+  add_bar("Cont", r.figure3.continental_all);
+  add_bar("NonCont", r.figure3.intercontinental);
+  std::printf("%s", render_stacked_bars(bars, {'#', '-', '=', '.'}).c_str());
+  std::printf("  # Best/Short   - NonBest/Short   = Best/Long   ."
+              " NonBest/Long\n\n");
+
+  bench::compare_line(
+      "continental traceroute share", "45%",
+      percent(r.figure3.continental_traceroute_fraction));
+  bench::compare_line(
+      "continental Best/Short > intercontinental", "yes",
+      r.figure3.continental_all.share(DecisionCategory::kBestShort) >
+              r.figure3.intercontinental.share(DecisionCategory::kBestShort)
+          ? "yes"
+          : "no");
+  std::printf(
+      "  continental Best/Short %s vs intercontinental %s\n\n",
+      percent(r.figure3.continental_all.share(DecisionCategory::kBestShort))
+          .c_str(),
+      percent(
+          r.figure3.intercontinental.share(DecisionCategory::kBestShort))
+          .c_str());
+}
+
+void BM_GeolocateTraceroutes(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(geolocate_traceroutes(r.passive, *r.net));
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(r.passive.traceroutes.size()));
+}
+BENCHMARK(BM_GeolocateTraceroutes);
+
+void BM_ComputeFigure3(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const DecisionClassifier classifier = make_classifier(r.passive);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_figure3(r.passive, *r.net, classifier));
+}
+BENCHMARK(BM_ComputeFigure3);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_figure3)

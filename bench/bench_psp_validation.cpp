@@ -1,0 +1,34 @@
+// §4.3 — looking-glass validation of prefix-specific policy inferences.
+#include "bench_common.hpp"
+#include "core/looking_glass.hpp"
+
+namespace {
+
+using namespace irp;
+
+void print_psp() {
+  const auto& r = bench::shared_study();
+  std::printf("== §4.3: prefix-specific policies, looking-glass check ==\n\n");
+  bench::compare_line("PSP cases identified", "63",
+                      std::to_string(r.psp.psp_cases));
+  bench::compare_line("unique origin-neighbors involved", "149",
+                      std::to_string(r.psp.unique_neighbors));
+  bench::compare_line("neighbors hosting a looking glass", "28",
+                      std::to_string(r.psp.neighbors_with_lg));
+  bench::compare_line("criteria-1 removals verified correct", "78%",
+                      percent(r.psp.precision()) + " of " +
+                          std::to_string(r.psp.checked));
+  std::printf("\n");
+}
+
+void BM_ValidatePsp(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const DecisionClassifier classifier = make_classifier(r.passive);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(validate_psp(r.passive, *r.net, classifier));
+}
+BENCHMARK(BM_ValidatePsp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_psp)

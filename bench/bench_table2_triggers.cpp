@@ -1,0 +1,73 @@
+// Table 2 — BGP decision triggers observed after anycasting a prefix that
+// was previously announced from a single (magnet) location (§3.2, §4.4).
+#include "bench_common.hpp"
+#include "core/active_study.hpp"
+#include "core/analysis.hpp"
+
+namespace {
+
+using namespace irp;
+
+void print_row(const char* name, std::size_t n, std::size_t total,
+               const char* paper_feeds, const char* paper_tr, bool feeds) {
+  const double share = total == 0 ? 0.0 : double(n) / double(total);
+  std::printf("  %-28s %4zu (%6s)   paper %s: %s\n", name, n,
+              percent(share).c_str(), feeds ? "feeds" : "traceroutes",
+              feeds ? paper_feeds : paper_tr);
+}
+
+void print_table2() {
+  const auto& r = bench::shared_study();
+  std::printf("== Table 2: BGP decision triggers after anycast ==\n\n");
+  for (const bool feeds : {true, false}) {
+    const TriggerCounts& c = feeds ? r.table2.feeds : r.table2.traceroutes;
+    std::printf("%s channel (total %zu):\n",
+                feeds ? "BGP FEEDS" : "TRACEROUTES", c.total());
+    print_row("Best relationship", c.best_relationship, c.total(), "46.0%",
+              "42.4%", feeds);
+    print_row("Shorter path", c.shorter_path, c.total(), "16.0%", "29.4%",
+              feeds);
+    print_row("Intradomain tie-breaker", c.intradomain, c.total(), "16.4%",
+              "15.6%", feeds);
+    print_row("Oldest route (magnet)", c.oldest_route, c.total(), "2.5%",
+              "1.6%", feeds);
+    print_row("Violation", c.violation, c.total(), "18.9%", "10.8%", feeds);
+    std::printf("\n");
+  }
+}
+
+void BM_MagnetExperiment(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  std::set<Asn> candidates;
+  for (const auto& p : r.passive.probes) candidates.insert(p.asn);
+  const std::vector<Asn> vantages = ActiveExperiment::select_vantages(
+      *r.net, *r.passive.policy, {candidates.begin(), candidates.end()}, 32);
+  for (auto _ : state) {
+    ActiveExperiment active{r.net.get(), r.passive.policy.get(),
+                            &r.passive.inferred, vantages, {}};
+    benchmark::DoNotOptimize(active.magnet_experiment());
+  }
+}
+BENCHMARK(BM_MagnetExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_InferTrigger(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  // A representative alternatives set.
+  std::vector<Route> alternatives(3);
+  alternatives[0].from_asn = r.net->tier1s[0];
+  alternatives[0].path.hops = {r.net->tier1s[0], 99};
+  alternatives[1].from_asn = r.net->large_isps[0];
+  alternatives[1].path.hops = {r.net->large_isps[0], 98, 99};
+  alternatives[2].from_asn = r.net->large_isps[1];
+  alternatives[2].path.hops = {r.net->large_isps[1], 97, 98, 99};
+  const Asn subject = r.net->small_isps[0];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(infer_trigger(r.passive.inferred, subject,
+                                           alternatives[0].from_asn, 2,
+                                           alternatives, false));
+}
+BENCHMARK(BM_InferTrigger);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_table2)

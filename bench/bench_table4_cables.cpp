@@ -1,0 +1,46 @@
+// Table 4 — decisions attributable to undersea-cable ASes (§6).
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+
+namespace {
+
+using namespace irp;
+
+void print_table4() {
+  const auto& r = bench::shared_study();
+  std::printf("== Table 4: undersea-cable attribution ==\n\n");
+  bench::compare_line("Non-Best & Short explained by cables", "3.0%",
+                      percent(r.table4.nonbest_short));
+  bench::compare_line("Best & Long explained by cables", "6.5%",
+                      percent(r.table4.best_long));
+  bench::compare_line("Non-Best & Long explained by cables", "4.5%",
+                      percent(r.table4.nonbest_long));
+  bench::compare_line("paths traversing cable ASes", "<2%",
+                      percent(r.table4.paths_with_cable));
+  bench::compare_line("cable-involving decisions deviating", "51.2%",
+                      percent(r.table4.cable_decision_deviation));
+  std::printf("  cable-involving decisions: %zu\n\n",
+              r.table4.cable_decisions);
+}
+
+void BM_ComputeTable4(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const DecisionClassifier classifier = make_classifier(r.passive);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compute_table4(r.passive, *r.net, classifier));
+}
+BENCHMARK(BM_ComputeTable4)->Unit(benchmark::kMillisecond);
+
+void BM_CableRegistryLookup(benchmark::State& state) {
+  const auto& r = bench::shared_study();
+  const auto asns = r.net->cable_registry.operator_asns();
+  Asn probe = r.net->cable_asns.empty() ? 1 : r.net->cable_asns[0];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        std::binary_search(asns.begin(), asns.end(), probe));
+}
+BENCHMARK(BM_CableRegistryLookup);
+
+}  // namespace
+
+IRP_BENCH_MAIN(print_table4)

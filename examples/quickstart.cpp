@@ -1,0 +1,102 @@
+// Quickstart: run the whole study at default scale and print every table.
+//
+// This is the fastest way to see the library end to end: generate a
+// synthetic Internet, run the passive RIPE-style campaign and the active
+// PEERING-style experiments, and print the reproduction of each table and
+// figure of the paper.
+#include <cstdio>
+#include <string>
+
+#include "core/study.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace irp;
+
+  StudyConfig config;
+  StudyResults r = run_full_study(config);
+
+  std::printf("== Synthetic Internet ==\n");
+  std::printf("ASes: %zu   links: %zu   inferred links: %zu\n",
+              r.net->topology.num_ases(), r.net->topology.num_links(),
+              r.passive.inferred.num_links());
+  std::printf("probes: %zu   traceroutes: %zu   decisions: %zu\n",
+              r.passive.probes.size(), r.passive.traceroutes.size(),
+              r.passive.decisions.size());
+  std::printf("destination ASes: %zu   decider ASes observed: %zu\n\n",
+              r.passive.num_destination_ases,
+              r.passive.num_observed_decider_ases);
+
+  std::printf("== Table 1: probe distribution ==\n%s\n",
+              render_table1(r.table1).render().c_str());
+
+  std::printf("== Figure 1: decision breakdown per scenario ==\n%s\n",
+              render_figure1(r.figure1).render().c_str());
+
+  std::printf("== Figure 2: violation skew ==\n");
+  for (const auto& [name, share] : r.skew.top_dest_services)
+    std::printf("  dest service %-18s %s of violations\n", name.c_str(),
+                percent(share).c_str());
+  std::printf("  stale-link share for %s: %s\n",
+              r.skew.second_service_name.c_str(),
+              percent(r.skew.stale_fraction_second_service).c_str());
+  std::printf("  gini (sources) %.2f   gini (destinations) %.2f\n\n",
+              r.skew.gini_sources, r.skew.gini_dests);
+
+  std::printf("== Figure 3: geography ==\n%s\n",
+              render_figure3(r.figure3).render().c_str());
+  std::printf("continental traceroutes: %s\n\n",
+              percent(r.figure3.continental_traceroute_fraction).c_str());
+
+  std::printf("== Table 3: domestic preference ==\n%s\n",
+              render_table3(r.table3, r.net->world).render().c_str());
+
+  std::printf("== Table 4: undersea cables ==\n%s",
+              render_table4(r.table4).render().c_str());
+  std::printf("paths with cable AS: %s   cable-decision deviation: %s\n\n",
+              percent(r.table4.paths_with_cable).c_str(),
+              percent(r.table4.cable_decision_deviation).c_str());
+
+  std::printf("== Active: alternate routes (on %zu targets) ==\n",
+              r.alternate.targets);
+  auto pct = [&](std::size_t n) {
+    return percent(r.alternate.targets == 0
+                       ? 0.0
+                       : double(n) / double(r.alternate.targets));
+  };
+  std::printf("  Best&Short %s   Best-only %s   Short-only %s   neither %s\n",
+              pct(r.alternate.both).c_str(), pct(r.alternate.best_only).c_str(),
+              pct(r.alternate.short_only).c_str(),
+              pct(r.alternate.neither).c_str());
+  std::printf("  links observed %zu, not in DB %zu, poison-only %zu\n",
+              r.alternate.links_observed, r.alternate.links_not_in_db,
+              r.alternate.links_poison_only);
+  for (const auto& note : r.alternate.violation_notes)
+    std::printf("  violation: %s\n", note.c_str());
+
+  std::printf("\n== Table 2: BGP decision triggers ==\n");
+  auto print_channel = [](const char* name, const TriggerCounts& c) {
+    std::printf("  %-12s best-rel %zu  shorter %zu  intradomain %zu  "
+                "oldest %zu  violation %zu  (total %zu)\n",
+                name, c.best_relationship, c.shorter_path, c.intradomain,
+                c.oldest_route, c.violation, c.total());
+  };
+  print_channel("feeds", r.table2.feeds);
+  print_channel("traceroutes", r.table2.traceroutes);
+
+  std::printf("\n== PSP validation (looking glasses) ==\n");
+  std::printf("  cases %zu, neighbors %zu (LG in %zu), checked %zu, "
+              "correct %s\n",
+              r.psp.psp_cases, r.psp.unique_neighbors, r.psp.neighbors_with_lg,
+              r.psp.checked, percent(r.psp.precision()).c_str());
+
+  std::printf("\n== Extended model (the paper's future work) ==\n");
+  const auto bs = [](const CategoryBreakdown& b) {
+    return percent(b.share(DecisionCategory::kBestShort));
+  };
+  std::printf("  Simple %s -> All-1 %s -> + stale pruning + cable fix %s\n",
+              bs(r.extended.simple).c_str(),
+              bs(r.extended.all_refinements).c_str(),
+              bs(r.extended.extended).c_str());
+  return 0;
+}

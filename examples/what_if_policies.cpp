@@ -1,0 +1,113 @@
+// Example: using the library as a what-if modeling tool.
+//
+// The paper's motivation is that routing models feed security, reliability
+// and evolution studies. This example asks the reverse question: which
+// real-world policy behaviours are responsible for how much of the
+// model/reality gap? It generates ONE Internet and then switches individual
+// policy phenomena off *in place* — the topology stays identical, so every
+// change in the violation share is attributable to the removed behaviour.
+#include <cstdio>
+#include <functional>
+
+#include "core/analysis.hpp"
+#include "core/passive_study.hpp"
+#include "topo/generator.hpp"
+#include "util/strings.hpp"
+
+using namespace irp;
+
+namespace {
+
+double violation_share(const GeneratedInternet& net) {
+  PassiveStudyConfig passive;
+  const PassiveDataset ds = run_passive_study(net, passive);
+  const DecisionClassifier classifier = make_classifier(ds);
+  CategoryBreakdown breakdown;
+  const ScenarioOptions simple;
+  for (const auto& d : ds.decisions)
+    breakdown.add(classifier.classify(d, simple));
+  return breakdown.violation_share();
+}
+
+/// Regenerates the same Internet (same seed/config) and applies an in-place
+/// ground-truth edit before measuring.
+double ablated_share(const GeneratorConfig& config,
+                     const std::function<void(GeneratedInternet&)>& edit) {
+  auto net = generate_internet(config);
+  edit(*net);
+  return violation_share(*net);
+}
+
+}  // namespace
+
+int main() {
+  const GeneratorConfig config;
+  std::printf("Measuring the Simple-model violation share under in-place"
+              " policy ablations...\n\n");
+
+  const double baseline = ablated_share(config, [](GeneratedInternet&) {});
+  std::printf("  %-46s %s\n", "baseline (all phenomena active)",
+              percent(baseline).c_str());
+
+  const auto report = [&](const char* label,
+                          const std::function<void(GeneratedInternet&)>& edit) {
+    const double share = ablated_share(config, edit);
+    std::printf("  %-46s %s (%+.1f pts)\n", label, percent(share).c_str(),
+                (share - baseline) * 100.0);
+  };
+
+  report("no domestic-path preference", [](GeneratedInternet& net) {
+    net.topology.for_each_as([&](const AsNode& node) {
+      net.topology.as_node_mutable(node.asn).prefers_domestic = false;
+    });
+  });
+
+  report("no local-pref traffic engineering", [](GeneratedInternet& net) {
+    net.topology.for_each_link([&](const Link& l) {
+      Link& mut = net.topology.link_mutable(l.id);
+      mut.lp_delta_a = 0;
+      mut.lp_delta_b = 0;
+    });
+  });
+
+  report("no shortest-path-first ASes", [](GeneratedInternet& net) {
+    net.topology.for_each_as([&](const AsNode& node) {
+      net.topology.as_node_mutable(node.asn).flat_local_pref = false;
+    });
+  });
+
+  report("no selective announcement / prepending", [](GeneratedInternet& net) {
+    net.topology.for_each_as([&](const AsNode& node) {
+      for (auto& op : net.topology.as_node_mutable(node.asn).prefixes) {
+        op.announce_only_on.clear();
+        op.prepend_on.clear();
+      }
+    });
+  });
+
+  report("no partial transit", [](GeneratedInternet& net) {
+    net.topology.for_each_link([&](const Link& l) {
+      net.topology.link_mutable(l.id).partial_transit = false;
+    });
+  });
+
+  report("no undersea-cable ASes", [](GeneratedInternet& net) {
+    for (Asn cable : net.cable_asns)
+      for (LinkId lid : net.topology.as_node(cable).links)
+        net.topology.link_mutable(lid).died_epoch = 0;  // Never alive.
+  });
+
+  report("no topology churn (no stale links)", [](GeneratedInternet& net) {
+    net.topology.for_each_link([&](const Link& l) {
+      Link& mut = net.topology.link_mutable(l.id);
+      mut.born_epoch = 0;
+      mut.died_epoch = 1 << 30;
+    });
+  });
+
+  std::printf(
+      "\nThe topology is identical in every run; only the named behaviour is\n"
+      "switched off, so the delta quantifies that root cause's weight in the\n"
+      "model/reality gap the paper measures.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ground-truth routing policy: import preference and export filtering.
+//
+// This is the policy the *real* (simulated) Internet runs, deliberately
+// richer than Gao-Rexford: sibling transparency, per-link local-pref deltas,
+// flat-preference (shortest-path-first) ASes, domestic-path bonuses, and
+// partial-transit export restrictions. The analyses later compare measured
+// behaviour against the plain GR model, so every knob here is a potential
+// source of the paper's "unexpected routing decisions".
+#pragma once
+
+#include <optional>
+
+#include "bgp/route.hpp"
+#include "topo/topology.hpp"
+
+namespace irp {
+
+/// Tunable constants of the ground-truth policy.
+struct PolicyConfig {
+  int lp_customer = 300;
+  /// Organizations keep traffic in-org when possible: sibling routes beat
+  /// even customer routes. This is what makes multi-ASN organizations
+  /// deviate from the per-ASN GR model (§4.2).
+  int lp_sibling = 350;
+  int lp_peer = 200;
+  int lp_provider = 100;
+  /// Base used by flat-local-pref (shortest-path-first) ASes for all classes.
+  int lp_flat = 200;
+  /// Bonus for routes whose whole AS path stays in the AS's home country,
+  /// applied only by ASes with `prefers_domestic`.
+  int domestic_bonus = 150;
+};
+
+/// Computes import local-pref and export permission against a topology.
+class GroundTruthPolicy {
+ public:
+  GroundTruthPolicy(const Topology* topo, PolicyConfig config = {});
+
+  /// Local preference `self` assigns to a route learned over `link`.
+  int local_pref(Asn self, const Link& link, const AsPath& path) const;
+
+  /// True if every AS on `path` (and `self`) is registered in the same
+  /// country as `self`.
+  bool path_is_domestic(Asn self, const AsPath& path) const;
+
+  /// May `self` export a route to the neighbor over `out_link`?
+  /// `learned_rel` is the relationship class the route was learned from
+  /// (nullopt for self-originated prefixes).
+  bool export_ok(Asn self, std::optional<Relationship> learned_rel,
+                 const Link& out_link, const Ipv4Prefix& prefix) const;
+
+  /// Partial-transit prefix selection: whether a partial-transit provider
+  /// serves `prefix` over `link` (deterministic hash; roughly half).
+  static bool partial_transit_serves(const Ipv4Prefix& prefix,
+                                     const Link& link);
+
+  const PolicyConfig& config() const { return config_; }
+
+ private:
+  const Topology* topo_;
+  PolicyConfig config_;
+};
+
+}  // namespace irp

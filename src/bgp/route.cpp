@@ -1,0 +1,53 @@
+#include "bgp/route.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace irp {
+
+bool AsPath::contains(Asn asn) const {
+  return std::find(hops.begin(), hops.end(), asn) != hops.end() ||
+         std::find(poison_set.begin(), poison_set.end(), asn) !=
+             poison_set.end();
+}
+
+AsPath AsPath::prepend(Asn asn) const {
+  AsPath out = *this;
+  out.hops.insert(out.hops.begin(), asn);
+  return out;
+}
+
+Asn AsPath::origin() const {
+  IRP_CHECK(!hops.empty(), "origin of empty path");
+  return hops.back();
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(hops[i]);
+    // Render the poisoned AS-set where the paper places it: surrounded by
+    // the announcer (origin) ASN, i.e. just before the final hop.
+    if (!poison_set.empty() && i + 2 == hops.size()) {
+      out += " {";
+      for (std::size_t j = 0; j < poison_set.size(); ++j) {
+        if (j > 0) out += ',';
+        out += std::to_string(poison_set[j]);
+      }
+      out += '}';
+    }
+  }
+  if (!poison_set.empty() && hops.size() < 2) {
+    out += " {";
+    for (std::size_t j = 0; j < poison_set.size(); ++j) {
+      if (j > 0) out += ',';
+      out += std::to_string(poison_set[j]);
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace irp

@@ -1,0 +1,72 @@
+// BGP route representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "topo/types.hpp"
+
+namespace irp {
+
+/// Logical timestamp; increases monotonically with every route delivery.
+using LogicalTime = std::uint64_t;
+
+/// An AS path plus an optional poisoned AS-set.
+///
+/// Poisoned announcements (§3.2) carry the poisoned ASNs in a single AS-set
+/// surrounded by the announcer's ASN; the set counts as one hop for path
+/// length and triggers loop prevention at its members, but prevents the
+/// inference of non-existent inter-AS links.
+struct AsPath {
+  /// Front is the most recent (closest) AS, back is the origin.
+  std::vector<Asn> hops;
+  /// Poisoned AS-set (empty for normal announcements).
+  std::vector<Asn> poison_set;
+
+  /// BGP path length: one per hop, plus one for a non-empty AS-set.
+  std::size_t length() const {
+    return hops.size() + (poison_set.empty() ? 0 : 1);
+  }
+
+  /// True if `asn` appears anywhere (loop prevention).
+  bool contains(Asn asn) const;
+
+  /// Returns a copy with `asn` prepended.
+  AsPath prepend(Asn asn) const;
+
+  /// Origin AS (last hop); requires a non-empty path.
+  Asn origin() const;
+
+  /// Human-readable rendering, e.g. "64501 64502 {64999} 64501 64500".
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+};
+
+/// A route as held in an Adj-RIB-In: the path as received over a link, plus
+/// the attributes the decision process needs.
+struct Route {
+  AsPath path;
+  LinkId via_link = 0;       ///< Link the route was learned over.
+  Asn from_asn = 0;          ///< Neighbor that announced it.
+  LogicalTime received_at = 0;  ///< For the route-age tie-breaker.
+  /// Organizational route class, carried across sibling links: the class
+  /// the route had where the organization *externally* learned it
+  /// (nullopt = originated inside the organization). Without this, sibling
+  /// families would re-export provider routes as if they were their own and
+  /// become accidental global transit providers.
+  std::optional<Relationship> org_class;
+};
+
+/// A route collector feed entry: the best path of one collector peer for one
+/// prefix (RouteViews/RIS stand-in).
+struct FeedEntry {
+  Asn peer = 0;           ///< The AS exporting its best route to the collector.
+  Ipv4Prefix prefix;
+  AsPath path;            ///< Path as the collector sees it (peer prepended).
+};
+
+}  // namespace irp

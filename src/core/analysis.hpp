@@ -1,0 +1,64 @@
+// The paper's passive-measurement analyses (§4, §5, §6): refinement ladder,
+// skew by source/destination, and geography.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/classify.hpp"
+#include "core/passive_study.hpp"
+#include "core/reports.hpp"
+#include "topo/generator.hpp"
+
+namespace irp {
+
+/// Builds a classifier over the dataset's inferred topology and refinement
+/// datasets; the classifier borrows the dataset (keep `ds` alive).
+DecisionClassifier make_classifier(const PassiveDataset& ds);
+
+/// Per-traceroute geographic summary, resolved through the (imperfect)
+/// geolocation database — never through ground truth.
+struct TracerouteGeo {
+  std::optional<Continent> single_continent;  ///< Set when all hops agree.
+  std::optional<CountryId> single_country;    ///< Set when all hops agree.
+};
+
+/// Geolocates every traceroute of the dataset.
+std::vector<TracerouteGeo> geolocate_traceroutes(const PassiveDataset& ds,
+                                                 const GeneratedInternet& net);
+
+/// Table 1 — probe distribution by AS type.
+Table1Report compute_table1(const PassiveDataset& ds,
+                            const GeneratedInternet& net);
+
+/// Figure 1 — decision breakdown per refinement scenario.
+Figure1Report compute_figure1(const PassiveDataset& ds,
+                              const DecisionClassifier& classifier);
+
+/// Figure 2 — violation skew across source and destination ASes (§5).
+SkewReport compute_skew(const PassiveDataset& ds, const GeneratedInternet& net,
+                        const DecisionClassifier& classifier);
+
+/// Figure 3 — continental vs intercontinental breakdown (§6).
+Figure3Report compute_figure3(const PassiveDataset& ds,
+                              const GeneratedInternet& net,
+                              const DecisionClassifier& classifier);
+
+/// Table 3 — domestic-path preference (§6).
+Table3Report compute_table3(const PassiveDataset& ds,
+                            const GeneratedInternet& net,
+                            const DecisionClassifier& classifier);
+
+/// Table 4 — undersea-cable attribution (§6).
+Table4Report compute_table4(const PassiveDataset& ds,
+                            const GeneratedInternet& net,
+                            const DecisionClassifier& classifier);
+
+/// Removes pairs whose adjacency is stale (last seen before `epoch`)
+/// according to the neighbor-history service. Used to quantify how many
+/// violations stale links cause (§5's Netflix/AS3549 case).
+InferredTopology prune_stale_links(const InferredTopology& topo,
+                                   const NeighborHistoryDb& history,
+                                   int epoch);
+
+}  // namespace irp

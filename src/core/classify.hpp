@@ -1,0 +1,91 @@
+// Decision classification against the GR model, with the paper's
+// refinement ladder (§4.1-§4.3).
+//
+// A scenario controls which auxiliary datasets refine the raw inferred
+// topology:
+//   * Complex  — hybrid per-city relationships from the Giotsas-style
+//                dataset override the inferred label at matching cities;
+//   * Sibs     — a decision whose next hop is an inferred sibling satisfies
+//                Best by definition (organizations route freely internally);
+//   * PSP-1/2  — the GR path computation drops origin edges over which the
+//                destination prefix was never seen announced (criteria 1),
+//                or only when the neighbor was seen receiving some prefix
+//                from the origin (criteria 2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/decisions.hpp"
+#include "core/gr_model.hpp"
+#include "inference/bgp_observations.hpp"
+#include "inference/hybrid_dataset.hpp"
+#include "inference/relationships.hpp"
+#include "inference/siblings.hpp"
+
+namespace irp {
+
+/// Prefix-specific-policy handling mode (§4.3).
+enum class PspMode : std::uint8_t { kNone, kCriteria1, kCriteria2 };
+
+/// One scenario of the Figure 1 ladder.
+struct ScenarioOptions {
+  bool use_hybrid = false;
+  bool use_siblings = false;
+  PspMode psp = PspMode::kNone;
+};
+
+/// Named standard scenarios in Figure 1 order.
+struct NamedScenario {
+  std::string name;
+  ScenarioOptions options;
+};
+std::vector<NamedScenario> figure1_scenarios();
+
+/// Classifies decisions against the GR model over an inferred topology.
+///
+/// GrPathSets are cached per (destination, PSP mode, prefix); the classifier
+/// is therefore cheap to call per decision after warm-up.
+class DecisionClassifier {
+ public:
+  DecisionClassifier(const InferredTopology* topo, std::size_t num_ases,
+                     const HybridDataset* hybrid,
+                     const SiblingGroups* siblings,
+                     const BgpObservations* observations);
+
+  DecisionCategory classify(const RouteDecision& d,
+                            const ScenarioOptions& opts) const;
+
+  /// Property (1) of §3.3: is the decision via the best-available
+  /// relationship class?
+  bool is_best(const RouteDecision& d, const ScenarioOptions& opts) const;
+
+  /// Property (2) of §3.3: is the measured remaining path no longer than
+  /// the shortest GR path?
+  bool is_short(const RouteDecision& d, const ScenarioOptions& opts) const;
+
+  /// The (cached) GR path summary used for a decision under a scenario;
+  /// exposed for the geography analyses (witness paths).
+  const GrPathSet& path_set(const RouteDecision& d,
+                            const ScenarioOptions& opts) const;
+
+  const InferredTopology& topology() const { return *topo_; }
+  std::size_t num_ases() const { return model_.num_ases(); }
+
+ private:
+  /// Relationship of next_hop from decider's perspective under a scenario.
+  std::optional<Relationship> effective_relationship(
+      const RouteDecision& d, const ScenarioOptions& opts) const;
+
+  const InferredTopology* topo_;
+  GrModel model_;
+  const HybridDataset* hybrid_;
+  const SiblingGroups* siblings_;
+  const BgpObservations* observations_;
+
+  using CacheKey = std::tuple<Asn, int, Ipv4Prefix>;
+  mutable std::map<CacheKey, std::unique_ptr<GrPathSet>> cache_;
+};
+
+}  // namespace irp

@@ -1,0 +1,17 @@
+#include "core/decisions.hpp"
+
+#include "util/check.hpp"
+
+namespace irp {
+
+std::string_view decision_category_name(DecisionCategory c) {
+  switch (c) {
+    case DecisionCategory::kBestShort:    return "Best/Short";
+    case DecisionCategory::kNonBestShort: return "NonBest/Short";
+    case DecisionCategory::kBestLong:     return "Best/Long";
+    case DecisionCategory::kNonBestLong:  return "NonBest/Long";
+  }
+  IRP_UNREACHABLE("unknown category");
+}
+
+}  // namespace irp

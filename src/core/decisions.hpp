@@ -1,0 +1,62 @@
+// Routing decisions extracted from measured paths, and their taxonomy.
+//
+// Interdomain routing is destination-based, so a traceroute whose AS path is
+// a0 a1 ... ak exposes one routing decision per intermediate AS: ai chose
+// a(i+1) as its next hop toward the destination (§3.1). Each decision is
+// classified against the GR model into the four categories of Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/world.hpp"
+#include "net/ipv4.hpp"
+#include "topo/types.hpp"
+
+namespace irp {
+
+/// One observed routing decision.
+struct RouteDecision {
+  Asn decider = 0;
+  Asn next_hop = 0;
+  Asn dest_asn = 0;                 ///< Last AS of the measured path.
+  Asn src_asn = 0;                  ///< First AS of the measured path.
+  std::size_t remaining_len = 0;    ///< AS hops from decider to destination.
+  Ipv4Prefix dst_prefix;            ///< Destination prefix of the traceroute.
+  Asn origin_asn = 0;               ///< Origin of dst_prefix (== dest_asn
+                                    ///< unless conversion artifacts differ).
+  /// Geolocated city where the path enters next_hop (for hybrid
+  /// relationships); absent when geolocation failed.
+  std::optional<CityId> interconnect_city;
+  /// The measured AS path suffix decider..dest (inclusive).
+  std::vector<Asn> measured_remaining;
+  /// Index of the traceroute this decision came from.
+  std::size_t traceroute_index = 0;
+};
+
+/// Figure 1's four decision categories.
+enum class DecisionCategory : std::uint8_t {
+  kBestShort,
+  kNonBestShort,
+  kBestLong,
+  kNonBestLong,
+};
+
+std::string_view decision_category_name(DecisionCategory c);
+
+/// All categories in display order.
+inline constexpr DecisionCategory kAllCategories[] = {
+    DecisionCategory::kBestShort,
+    DecisionCategory::kNonBestShort,
+    DecisionCategory::kBestLong,
+    DecisionCategory::kNonBestLong,
+};
+
+/// True for every category except Best/Short — the paper's "violations".
+inline bool is_violation(DecisionCategory c) {
+  return c != DecisionCategory::kBestShort;
+}
+
+}  // namespace irp

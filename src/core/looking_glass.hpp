@@ -1,0 +1,33 @@
+// Looking-glass validation of prefix-specific policies (§4.3).
+//
+// For every PSP case — a decision that is a violation under the Simple model
+// but becomes Best/Short once criteria-1 drops unobserved origin edges — the
+// paper queried looking-glass servers in the origin's neighbors to verify
+// that the neighbor really lacked a route for the prefix from the origin.
+// Here a "looking-glass query" inspects the neighbor's ground-truth
+// Adj-RIB-In, which is exactly what a real LG exposes.
+#pragma once
+
+#include "core/analysis.hpp"
+
+namespace irp {
+
+/// §4.3 validation summary.
+struct PspValidationReport {
+  std::size_t psp_cases = 0;           ///< (origin, prefix) cases found.
+  std::size_t unique_neighbors = 0;    ///< Distinct removed origin-neighbors.
+  std::size_t neighbors_with_lg = 0;   ///< Of those, hosting a looking glass.
+  std::size_t checked = 0;             ///< Edge removals verified via an LG.
+  std::size_t correct = 0;             ///< Removals the LG confirmed.
+
+  double precision() const {
+    return checked == 0 ? 0.0 : double(correct) / double(checked);
+  }
+};
+
+/// Runs the validation over the passive dataset.
+PspValidationReport validate_psp(const PassiveDataset& ds,
+                                 const GeneratedInternet& net,
+                                 const DecisionClassifier& classifier);
+
+}  // namespace irp

@@ -1,0 +1,173 @@
+#include "core/report_io.hpp"
+
+#include <sstream>
+
+#include "core/looking_glass.hpp"
+#include "util/file.hpp"
+#include "util/strings.hpp"
+
+namespace irp {
+namespace {
+
+/// Quotes a CSV field when it contains separators or quotes.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void category_columns(std::ostringstream& out, const CategoryBreakdown& b) {
+  for (DecisionCategory c : kAllCategories)
+    out << ',' << b.count(c) << ',' << fixed(b.share(c), 6);
+}
+
+constexpr const char* kCategoryHeader =
+    "best_short,best_short_share,nonbest_short,nonbest_short_share,"
+    "best_long,best_long_share,nonbest_long,nonbest_long_share";
+
+}  // namespace
+
+std::string table1_csv(const Table1Report& r) {
+  std::ostringstream out;
+  out << "as_type,probes,distinct_ases,distinct_countries\n";
+  for (const auto& row : r.rows)
+    out << csv_field(row.as_type) << ',' << row.probes << ','
+        << row.distinct_ases << ',' << row.distinct_countries << "\n";
+  out << "Total," << r.total_probes << ',' << r.total_ases << ','
+      << r.total_countries << "\n";
+  return out.str();
+}
+
+std::string figure1_csv(const Figure1Report& r) {
+  std::ostringstream out;
+  out << "scenario," << kCategoryHeader << "\n";
+  for (const auto& [name, b] : r.scenarios) {
+    out << csv_field(name);
+    category_columns(out, b);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string figure2_csv(const SkewReport& r) {
+  std::ostringstream out;
+  out << "violation_type,axis,rank,cumulative\n";
+  for (const auto& [cat, curves] : r.curves) {
+    for (const auto& p : curves.by_source)
+      out << decision_category_name(cat) << ",source," << p.rank << ','
+          << fixed(p.cumulative, 6) << "\n";
+    for (const auto& p : curves.by_dest)
+      out << decision_category_name(cat) << ",dest," << p.rank << ','
+          << fixed(p.cumulative, 6) << "\n";
+  }
+  return out.str();
+}
+
+std::string figure3_csv(const Figure3Report& r) {
+  std::ostringstream out;
+  out << "scope," << kCategoryHeader << "\n";
+  for (const auto& [continent, b] : r.per_continent) {
+    out << continent_code(continent);
+    category_columns(out, b);
+    out << "\n";
+  }
+  out << "continental";
+  category_columns(out, r.continental_all);
+  out << "\nintercontinental";
+  category_columns(out, r.intercontinental);
+  out << "\n";
+  return out.str();
+}
+
+std::string table2_csv(const Table2Report& r) {
+  std::ostringstream out;
+  out << "channel,best_relationship,shorter_path,intradomain,oldest_route,"
+         "violation,total\n";
+  const auto row = [&](const char* name, const TriggerCounts& c) {
+    out << name << ',' << c.best_relationship << ',' << c.shorter_path << ','
+        << c.intradomain << ',' << c.oldest_route << ',' << c.violation << ','
+        << c.total() << "\n";
+  };
+  row("feeds", r.feeds);
+  row("traceroutes", r.traceroutes);
+  return out.str();
+}
+
+std::string table3_csv(const Table3Report& r) {
+  std::ostringstream out;
+  out << "continent,domestic_violations,explained,fraction\n";
+  for (const auto& row : r.rows) {
+    const double f = row.domestic_violations == 0
+                         ? 0.0
+                         : double(row.explained) /
+                               double(row.domestic_violations);
+    out << continent_code(row.continent) << ',' << row.domestic_violations
+        << ',' << row.explained << ',' << fixed(f, 6) << "\n";
+  }
+  out << "overall,,," << fixed(r.overall_explained_fraction, 6) << "\n";
+  return out.str();
+}
+
+std::string table4_csv(const Table4Report& r) {
+  std::ostringstream out;
+  out << "metric,value\n";
+  out << "nonbest_short_explained," << fixed(r.nonbest_short, 6) << "\n";
+  out << "best_long_explained," << fixed(r.best_long, 6) << "\n";
+  out << "nonbest_long_explained," << fixed(r.nonbest_long, 6) << "\n";
+  out << "paths_with_cable," << fixed(r.paths_with_cable, 6) << "\n";
+  out << "cable_decision_deviation," << fixed(r.cable_decision_deviation, 6)
+      << "\n";
+  out << "cable_decisions," << r.cable_decisions << "\n";
+  return out.str();
+}
+
+std::string alternate_csv(const AlternateRouteReport& r) {
+  std::ostringstream out;
+  out << "metric,value\n";
+  out << "targets," << r.targets << "\n";
+  out << "both," << r.both << "\n";
+  out << "best_only," << r.best_only << "\n";
+  out << "short_only," << r.short_only << "\n";
+  out << "neither," << r.neither << "\n";
+  out << "poisoned_announcements," << r.poisoned_announcements << "\n";
+  out << "links_observed," << r.links_observed << "\n";
+  out << "links_not_in_db," << r.links_not_in_db << "\n";
+  out << "links_poison_only," << r.links_poison_only << "\n";
+  return out.str();
+}
+
+std::string psp_csv(const PspValidationReport& r) {
+  std::ostringstream out;
+  out << "metric,value\n";
+  out << "psp_cases," << r.psp_cases << "\n";
+  out << "unique_neighbors," << r.unique_neighbors << "\n";
+  out << "neighbors_with_lg," << r.neighbors_with_lg << "\n";
+  out << "checked," << r.checked << "\n";
+  out << "correct," << r.correct << "\n";
+  out << "precision," << fixed(r.precision(), 6) << "\n";
+  return out.str();
+}
+
+int write_all_reports(const StudyResults& results,
+                      const std::string& directory) {
+  const auto path = [&](const char* name) {
+    return directory + "/" + name + ".csv";
+  };
+  write_file(path("table1"), table1_csv(results.table1));
+  write_file(path("figure1"), figure1_csv(results.figure1));
+  write_file(path("figure2"), figure2_csv(results.skew));
+  write_file(path("figure3"), figure3_csv(results.figure3));
+  write_file(path("table2"), table2_csv(results.table2));
+  write_file(path("table3"), table3_csv(results.table3));
+  write_file(path("table4"), table4_csv(results.table4));
+  write_file(path("alternate_routes"), alternate_csv(results.alternate));
+  write_file(path("psp_validation"), psp_csv(results.psp));
+  return 9;
+}
+
+}  // namespace irp

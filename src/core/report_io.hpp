@@ -1,0 +1,30 @@
+// CSV export of every report, so figures can be re-plotted externally.
+//
+// Each function returns RFC-4180-ish CSV text (header row + data rows,
+// fields quoted only when needed). write_all_reports() drops one file per
+// table/figure into a directory.
+#pragma once
+
+#include <string>
+
+#include "core/reports.hpp"
+#include "core/study.hpp"
+
+namespace irp {
+
+std::string table1_csv(const Table1Report& r);
+std::string figure1_csv(const Figure1Report& r);
+std::string figure2_csv(const SkewReport& r);
+std::string figure3_csv(const Figure3Report& r);
+std::string table2_csv(const Table2Report& r);
+std::string table3_csv(const Table3Report& r);
+std::string table4_csv(const Table4Report& r);
+std::string alternate_csv(const AlternateRouteReport& r);
+std::string psp_csv(const PspValidationReport& r);
+
+/// Writes every report of a study into `directory` (must exist) as
+/// <name>.csv files. Returns the number of files written.
+int write_all_reports(const StudyResults& results,
+                      const std::string& directory);
+
+}  // namespace irp

@@ -1,0 +1,66 @@
+#include "core/reports.hpp"
+
+#include "util/strings.hpp"
+
+namespace irp {
+
+TextTable render_table1(const Table1Report& r) {
+  TextTable t{{"AS type", "Probes", "Distinct ASes", "Distinct Countries"}};
+  for (const auto& row : r.rows)
+    t.add_row({row.as_type, std::to_string(row.probes),
+               std::to_string(row.distinct_ases),
+               std::to_string(row.distinct_countries)});
+  t.add_row({"Total", std::to_string(r.total_probes),
+             std::to_string(r.total_ases), std::to_string(r.total_countries)});
+  return t;
+}
+
+TextTable render_figure1(const Figure1Report& r) {
+  TextTable t{{"Scenario", "Best/Short", "NonBest/Short", "Best/Long",
+               "NonBest/Long"}};
+  for (const auto& [name, b] : r.scenarios)
+    t.add_row({name, percent(b.share(DecisionCategory::kBestShort)),
+               percent(b.share(DecisionCategory::kNonBestShort)),
+               percent(b.share(DecisionCategory::kBestLong)),
+               percent(b.share(DecisionCategory::kNonBestLong))});
+  return t;
+}
+
+TextTable render_figure3(const Figure3Report& r) {
+  TextTable t{{"Scope", "Best/Short", "NonBest/Short", "Best/Long",
+               "NonBest/Long", "Decisions"}};
+  auto row = [&](const std::string& name, const CategoryBreakdown& b) {
+    t.add_row({name, percent(b.share(DecisionCategory::kBestShort)),
+               percent(b.share(DecisionCategory::kNonBestShort)),
+               percent(b.share(DecisionCategory::kBestLong)),
+               percent(b.share(DecisionCategory::kNonBestLong)),
+               std::to_string(b.total())});
+  };
+  for (const auto& [continent, b] : r.per_continent)
+    row(std::string(continent_code(continent)), b);
+  row("Cont", r.continental_all);
+  row("Non Cont", r.intercontinental);
+  return t;
+}
+
+TextTable render_table3(const Table3Report& r, const World&) {
+  TextTable t{{"Continent", "Non-Best/Short Decisions explained"}};
+  for (const auto& row : r.rows) {
+    const double frac = row.domestic_violations == 0
+                            ? 0.0
+                            : double(row.explained) /
+                                  double(row.domestic_violations);
+    t.add_row({std::string(continent_name(row.continent)), percent(frac)});
+  }
+  return t;
+}
+
+TextTable render_table4(const Table4Report& r) {
+  TextTable t{{"Violation type", "Pct. of decisions explained"}};
+  t.add_row({"Non-Best & Short", percent(r.nonbest_short)});
+  t.add_row({"Best & Long", percent(r.best_long)});
+  t.add_row({"Non-Best & Long", percent(r.nonbest_long)});
+  return t;
+}
+
+}  // namespace irp

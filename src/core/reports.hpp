@@ -1,0 +1,118 @@
+// Report structures for every table and figure of the paper, plus helpers
+// to render them as text tables.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/decisions.hpp"
+#include "geo/world.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace irp {
+
+/// Counts per decision category with share accessors.
+struct CategoryBreakdown {
+  std::array<std::size_t, 4> counts{};
+
+  void add(DecisionCategory c) { ++counts[static_cast<std::size_t>(c)]; }
+  std::size_t count(DecisionCategory c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  std::size_t total() const {
+    return counts[0] + counts[1] + counts[2] + counts[3];
+  }
+  double share(DecisionCategory c) const {
+    const std::size_t t = total();
+    return t == 0 ? 0.0 : double(count(c)) / double(t);
+  }
+  /// Share of decisions violating either property (not Best/Short).
+  double violation_share() const {
+    return 1.0 - share(DecisionCategory::kBestShort);
+  }
+};
+
+/// Table 1: probe distribution by AS type.
+struct Table1Report {
+  struct Row {
+    std::string as_type;
+    std::size_t probes = 0;
+    std::size_t distinct_ases = 0;
+    std::size_t distinct_countries = 0;
+  };
+  std::vector<Row> rows;
+  std::size_t total_probes = 0;
+  std::size_t total_ases = 0;
+  std::size_t total_countries = 0;
+};
+
+/// Figure 1: decision breakdown per refinement scenario.
+struct Figure1Report {
+  std::vector<std::pair<std::string, CategoryBreakdown>> scenarios;
+};
+
+/// Figure 2: skew of violations across source/destination ASes.
+struct SkewReport {
+  struct TypeCurves {
+    std::vector<CdfPoint> by_source;
+    std::vector<CdfPoint> by_dest;
+  };
+  /// Keyed by the three violation categories.
+  std::map<DecisionCategory, TypeCurves> curves;
+  /// Share of all violations by destination content service, descending.
+  std::vector<std::pair<std::string, double>> top_dest_services;
+  /// Share of all violations by source AS, descending (top entries).
+  std::vector<std::pair<Asn, double>> top_sources;
+  /// Of the violations toward the second wide-deployment service, the
+  /// fraction attributable to stale links in the aggregated topology.
+  double stale_fraction_second_service = 0.0;
+  std::string second_service_name;
+  /// Gini coefficients summarizing the skew (tests + rendering).
+  double gini_sources = 0.0;
+  double gini_dests = 0.0;
+};
+
+/// Figure 3: continental vs intercontinental decision breakdowns.
+struct Figure3Report {
+  std::map<Continent, CategoryBreakdown> per_continent;
+  CategoryBreakdown continental_all;
+  CategoryBreakdown intercontinental;
+  double continental_traceroute_fraction = 0.0;
+};
+
+/// Table 3: Non-Best/Short decisions explained by domestic-path preference.
+struct Table3Report {
+  struct Row {
+    Continent continent = Continent::kEurope;
+    std::size_t domestic_violations = 0;  ///< On single-country traceroutes.
+    std::size_t explained = 0;            ///< Better multinational path exists.
+  };
+  std::vector<Row> rows;
+  double overall_explained_fraction = 0.0;
+};
+
+/// Table 4: decisions attributable to undersea-cable ASes.
+struct Table4Report {
+  /// Fraction of decisions of each violation type involving a cable AS.
+  double nonbest_short = 0.0;
+  double best_long = 0.0;
+  double nonbest_long = 0.0;
+  /// Fraction of AS-level paths traversing a cable AS (paper: <2%).
+  double paths_with_cable = 0.0;
+  /// Of decisions involving cable ASes, the deviating fraction (51.2%).
+  double cable_decision_deviation = 0.0;
+  std::size_t cable_decisions = 0;
+};
+
+// ---- rendering -----------------------------------------------------------
+
+TextTable render_table1(const Table1Report& r);
+TextTable render_figure1(const Figure1Report& r);
+TextTable render_figure3(const Figure3Report& r);
+TextTable render_table3(const Table3Report& r, const World& world);
+TextTable render_table4(const Table4Report& r);
+
+}  // namespace irp

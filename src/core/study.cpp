@@ -1,0 +1,41 @@
+#include "core/study.hpp"
+
+#include <set>
+
+namespace irp {
+
+StudyResults run_full_study(const StudyConfig& config) {
+  StudyResults results;
+  results.net = generate_internet(config.generator);
+  const GeneratedInternet& net = *results.net;
+
+  results.passive = run_passive_study(net, config.passive);
+  const PassiveDataset& ds = results.passive;
+
+  const DecisionClassifier classifier = make_classifier(ds);
+  results.table1 = compute_table1(ds, net);
+  results.figure1 = compute_figure1(ds, classifier);
+  results.skew = compute_skew(ds, net, classifier);
+  results.figure3 = compute_figure3(ds, net, classifier);
+  results.table3 = compute_table3(ds, net, classifier);
+  results.table4 = compute_table4(ds, net, classifier);
+  results.psp = validate_psp(ds, net, classifier);
+  results.extended = compute_extended_model(ds, net);
+
+  if (config.run_active) {
+    // Vantage candidates: the distinct probe ASes of the passive campaign.
+    std::set<Asn> candidate_set;
+    for (const Probe& p : ds.probes) candidate_set.insert(p.asn);
+    const std::vector<Asn> candidates{candidate_set.begin(),
+                                      candidate_set.end()};
+    const std::vector<Asn> vantages = ActiveExperiment::select_vantages(
+        net, *ds.policy, candidates, config.active.traceroute_vantages);
+    ActiveExperiment active{&net, ds.policy.get(), &ds.inferred, vantages,
+                            config.active, &ds.siblings};
+    results.alternate = active.discover_alternate_routes();
+    results.table2 = active.magnet_experiment();
+  }
+  return results;
+}
+
+}  // namespace irp

@@ -1,0 +1,40 @@
+#include "dataplane/as_type.hpp"
+
+#include "util/check.hpp"
+
+namespace irp {
+
+std::string_view as_category_name(AsCategory c) {
+  switch (c) {
+    case AsCategory::kStub:     return "Stub-AS";
+    case AsCategory::kSmallIsp: return "Small ISP";
+    case AsCategory::kLargeIsp: return "Large ISP";
+    case AsCategory::kTier1:    return "Tier-1";
+  }
+  IRP_UNREACHABLE("unknown category");
+}
+
+AsTypeClassifier::AsTypeClassifier(const Topology* topo, int epoch,
+                                   std::size_t large_cone_threshold)
+    : topo_(topo), epoch_(epoch), large_cone_threshold_(large_cone_threshold) {
+  IRP_CHECK(topo_ != nullptr, "classifier requires a topology");
+}
+
+AsCategory AsTypeClassifier::classify(Asn asn) const {
+  bool has_provider = false;
+  bool has_customer = false;
+  for (LinkId lid : topo_->links_of(asn)) {
+    const Link& l = topo_->link(lid);
+    if (!topo_->link_alive(l, epoch_)) continue;
+    const Relationship rel = topo_->relationship_from(l, asn);
+    if (rel == Relationship::kProvider) has_provider = true;
+    if (rel == Relationship::kCustomer) has_customer = true;
+  }
+  if (!has_customer) return AsCategory::kStub;
+  if (!has_provider) return AsCategory::kTier1;
+  const std::size_t cone = topo_->customer_cone_size(asn, epoch_);
+  return cone >= large_cone_threshold_ ? AsCategory::kLargeIsp
+                                       : AsCategory::kSmallIsp;
+}
+
+}  // namespace irp

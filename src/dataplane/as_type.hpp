@@ -1,0 +1,38 @@
+// AS-type categorization following Oliveira et al. (used for Table 1).
+//
+// Classes are derived from the AS's position in the routing hierarchy:
+// Tier-1 ASes have no providers; the remaining transit ASes are split into
+// large and small ISPs by customer-cone size; ASes without customers are
+// stubs. Content/cable/testbed ASes are mapped onto the same four buckets
+// the paper's Table 1 uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace irp {
+
+/// The four buckets of Table 1.
+enum class AsCategory { kStub, kSmallIsp, kLargeIsp, kTier1 };
+
+std::string_view as_category_name(AsCategory c);
+
+/// Classifies ASes by provider/customer structure and customer-cone size.
+class AsTypeClassifier {
+ public:
+  /// `epoch` selects which links are considered alive.
+  /// `large_cone_threshold` is the minimum customer-cone size of a large ISP.
+  AsTypeClassifier(const Topology* topo, int epoch,
+                   std::size_t large_cone_threshold = 25);
+
+  AsCategory classify(Asn asn) const;
+
+ private:
+  const Topology* topo_;
+  int epoch_;
+  std::size_t large_cone_threshold_;
+};
+
+}  // namespace irp

@@ -1,0 +1,70 @@
+#include "dataplane/dns.hpp"
+
+#include "util/check.hpp"
+
+namespace irp {
+
+ContentResolver::ContentResolver(const Topology* topo, const World* world,
+                                 const ContentCatalog* catalog)
+    : topo_(topo), world_(world), catalog_(catalog) {
+  IRP_CHECK(topo_ && world_ && catalog_, "resolver requires all inputs");
+}
+
+std::optional<DnsAnswer> ContentResolver::resolve(const std::string& hostname,
+                                                  Asn client_asn) const {
+  const ContentService* service = catalog_->service_for(hostname);
+  if (service == nullptr) return std::nullopt;
+
+  const ContentHostname* entry = nullptr;
+  for (const auto& h : service->hostnames)
+    if (h.name == hostname) entry = &h;
+  IRP_CHECK(entry != nullptr, "catalog returned service without hostname");
+
+  const AsNode& client = topo_->as_node(client_asn);
+  const CountryId client_country = client.home_country;
+  const Continent client_continent =
+      world_->continent_of_country(client_country);
+
+  // Premium (enterprise) services are origin-served only.
+  if (entry->premium) {
+    DnsAnswer answer;
+    answer.prefix = entry->origin_prefix;
+    answer.serving_asn = service->origin_asn;
+    answer.from_cache = false;
+    answer.address = answer.prefix.address_at(answer.prefix.size() - 2);
+    return answer;
+  }
+
+  // Mapping policy: same-country cache > same-continent cache > origin.
+  const ContentCache* best = nullptr;
+  int best_score = 0;
+  for (const auto& cache : service->caches) {
+    const AsNode& host = topo_->as_node(cache.host_asn);
+    int score = 1;
+    if (world_->continent_of_country(host.home_country) == client_continent)
+      score = 2;
+    if (host.home_country == client_country) score = 3;
+    // Serving the client from its own AS is the best possible mapping.
+    if (cache.host_asn == client_asn) score = 4;
+    if (score > best_score && score >= 2) {
+      best_score = score;
+      best = &cache;
+    }
+  }
+
+  DnsAnswer answer;
+  if (best != nullptr) {
+    answer.prefix = best->prefix;
+    answer.serving_asn = best->host_asn;
+    answer.from_cache = true;
+  } else {
+    answer.prefix = entry->origin_prefix;
+    answer.serving_asn = service->origin_asn;
+    answer.from_cache = false;
+  }
+  // A stable host address inside the serving prefix.
+  answer.address = answer.prefix.address_at(answer.prefix.size() - 2);
+  return answer;
+}
+
+}  // namespace irp

@@ -1,0 +1,33 @@
+#include "dataplane/ip_to_as.hpp"
+
+namespace irp {
+
+IpToAsMap IpToAsMap::from_topology(const Topology& topo) {
+  IpToAsMap map;
+  topo.for_each_as([&](const AsNode& node) {
+    for (const auto& pop : node.pops) map.add(pop.router_prefix, node.asn);
+    for (const auto& op : node.prefixes) map.add(op.prefix, node.asn);
+  });
+  return map;
+}
+
+void IpToAsMap::add(const Ipv4Prefix& prefix, Asn asn) {
+  trie_.insert(prefix, asn);
+}
+
+std::optional<Asn> IpToAsMap::lookup(Ipv4Addr addr) const {
+  return trie_.lookup(addr);
+}
+
+std::vector<Asn> IpToAsMap::as_path_of(
+    const std::vector<Ipv4Addr>& hops) const {
+  std::vector<Asn> path;
+  for (Ipv4Addr hop : hops) {
+    const auto asn = lookup(hop);
+    if (!asn) continue;  // Unresponsive/unmapped hop.
+    if (path.empty() || path.back() != *asn) path.push_back(*asn);
+  }
+  return path;
+}
+
+}  // namespace irp

@@ -1,0 +1,41 @@
+// IP-to-AS mapping and IP-path -> AS-path conversion.
+//
+// Reproduces the role of the Chen et al. [CoNEXT'09] conversion step the
+// paper uses (§3.1): traceroute hop addresses are mapped to the AS that
+// originates the covering prefix, consecutive duplicates are collapsed, and
+// unresolvable hops are skipped.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "topo/topology.hpp"
+
+namespace irp {
+
+/// Longest-prefix-match database mapping addresses to origin ASes.
+class IpToAsMap {
+ public:
+  /// Builds the map from every prefix registered in the topology: announced
+  /// (customer/cache) prefixes and router infrastructure prefixes.
+  static IpToAsMap from_topology(const Topology& topo);
+
+  /// Adds one prefix -> AS mapping.
+  void add(const Ipv4Prefix& prefix, Asn asn);
+
+  /// Origin AS of the covering prefix, if any.
+  std::optional<Asn> lookup(Ipv4Addr addr) const;
+
+  /// Converts an IP-level path to an AS-level path: maps every hop,
+  /// collapses consecutive duplicates, drops unmapped hops.
+  std::vector<Asn> as_path_of(const std::vector<Ipv4Addr>& hops) const;
+
+  std::size_t size() const { return trie_.size(); }
+
+ private:
+  PrefixTrie<Asn> trie_;
+};
+
+}  // namespace irp

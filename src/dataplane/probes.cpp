@@ -1,0 +1,104 @@
+#include "dataplane/probes.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace irp {
+
+ProbeSampler::ProbeSampler(const Topology* topo, const World* world,
+                           ProbeSamplerConfig config, Rng rng)
+    : topo_(topo), world_(world), config_(config), rng_(rng) {
+  IRP_CHECK(topo_ != nullptr && world_ != nullptr,
+            "sampler requires topology and world");
+  IRP_CHECK(config_.sample_per_continent <= config_.platform_probes_per_continent,
+            "cannot sample more probes than the platform hosts");
+}
+
+std::vector<Probe> ProbeSampler::platform_population() {
+  // Collect candidate host ASes per continent, heavily weighted toward the
+  // network edge (the real platform's hosts are volunteers in eyeball nets).
+  std::vector<std::vector<Asn>> hosts(kNumContinents);
+  topo_->for_each_as([&](const AsNode& node) {
+    int weight = 0;
+    switch (node.type) {
+      case AsType::kStub:     weight = 5; break;
+      case AsType::kSmallIsp: weight = 4; break;
+      case AsType::kLargeIsp: weight = 2; break;
+      case AsType::kEducation: weight = 1; break;
+      default: return;
+    }
+    if (node.prefixes.empty()) return;
+    const Continent c = world_->continent_of_country(node.home_country);
+    for (int w = 0; w < weight; ++w) hosts[int(c)].push_back(node.asn);
+  });
+
+  std::vector<Probe> population;
+  int id = 0;
+  for (Continent c : all_continents()) {
+    if (hosts[int(c)].empty()) continue;
+    // Europe over-representation, as on the real platform.
+    const double skew = c == Continent::kEurope ? 2.0 : 1.0;
+    const int count =
+        static_cast<int>(config_.platform_probes_per_continent * skew);
+    for (int i = 0; i < count; ++i) {
+      const Asn asn = rng_.pick(hosts[int(c)]);
+      const AsNode& node = topo_->as_node(asn);
+      Probe probe;
+      probe.id = id++;
+      probe.asn = asn;
+      // Each probe gets a distinct host address inside the AS's first
+      // announced prefix.
+      const Ipv4Prefix& prefix = node.prefixes.front().prefix;
+      probe.address = prefix.address_at(
+          16 + static_cast<std::uint64_t>(i) % (prefix.size() - 32));
+      probe.country = node.home_country;
+      probe.continent = c;
+      population.push_back(probe);
+    }
+  }
+  return population;
+}
+
+std::vector<Probe> ProbeSampler::sample(
+    const std::vector<Probe>& population) const {
+  std::vector<Probe> selected;
+  for (Continent c : all_continents()) {
+    // Bucket this continent's probes by (country, AS) so round-robin can
+    // rotate across countries first and ASes second.
+    std::map<CountryId, std::map<Asn, std::vector<const Probe*>>> buckets;
+    for (const Probe& p : population)
+      if (p.continent == c) buckets[p.country][p.asn].push_back(&p);
+    if (buckets.empty()) continue;
+
+    int taken = 0;
+    // Round-robin: one pass picks at most one probe per country, rotating
+    // the AS within each country between passes.
+    while (taken < config_.sample_per_continent) {
+      bool any = false;
+      for (auto& [country, by_as] : buckets) {
+        if (taken >= config_.sample_per_continent) break;
+        // Find the AS with the most remaining probes not yet drained, to
+        // spread coverage across ASes.
+        auto best = by_as.end();
+        for (auto it = by_as.begin(); it != by_as.end(); ++it)
+          if (!it->second.empty() &&
+              (best == by_as.end() ||
+               it->second.size() > best->second.size()))
+            best = it;
+        if (best == by_as.end()) continue;
+        selected.push_back(*best->second.back());
+        best->second.pop_back();
+        // Rotate: an AS just used goes to the back of consideration by
+        // shrinking; the size-based pick above handles rotation naturally.
+        ++taken;
+        any = true;
+      }
+      if (!any) break;  // Continent exhausted.
+    }
+  }
+  return selected;
+}
+
+}  // namespace irp

@@ -1,0 +1,59 @@
+// RIPE-Atlas-style probe model and the paper's probe sampling strategy.
+//
+// §3.1: "RIPE Atlas ... is known to have a disproportionate fraction of
+// probes skewed towards Europe. To avoid a bias towards European ASes, we
+// picked equal number of probes from each continent. For every continent,
+// we picked probes in a round robin fashion from different countries and
+// ASes so that selected probes cover a wide range of ASes."
+#pragma once
+
+#include <vector>
+
+#include "geo/world.hpp"
+#include "net/ipv4.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace irp {
+
+/// A measurement probe hosted inside an AS.
+struct Probe {
+  int id = 0;
+  Asn asn = 0;
+  Ipv4Addr address;
+  CountryId country = 0;
+  Continent continent = Continent::kEurope;
+};
+
+/// Configuration of the probe population and of the sample drawn from it.
+struct ProbeSamplerConfig {
+  /// Probes available per continent before sampling; the platform's raw
+  /// population is much larger than the selected set.
+  int platform_probes_per_continent = 600;
+  /// Probes per continent in the selected sample (equal across continents).
+  int sample_per_continent = 333;
+};
+
+/// Builds a platform probe population and draws the paper's sample.
+class ProbeSampler {
+ public:
+  ProbeSampler(const Topology* topo, const World* world,
+               ProbeSamplerConfig config, Rng rng);
+
+  /// Generates the platform population: probes concentrated in eyeball
+  /// networks (stubs and small ISPs), a few in large ISPs; biased toward
+  /// Europe like the real platform.
+  std::vector<Probe> platform_population();
+
+  /// Draws the study sample: equal per continent, round-robin over
+  /// countries and ASes within the continent.
+  std::vector<Probe> sample(const std::vector<Probe>& population) const;
+
+ private:
+  const Topology* topo_;
+  const World* world_;
+  ProbeSamplerConfig config_;
+  mutable Rng rng_;
+};
+
+}  // namespace irp

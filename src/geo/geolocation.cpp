@@ -1,0 +1,44 @@
+#include "geo/geolocation.hpp"
+
+#include "util/check.hpp"
+
+namespace irp {
+
+GeoDatabase::GeoDatabase(const World* world, double error_rate, Rng rng)
+    : world_(world), error_rate_(error_rate), rng_(rng) {
+  IRP_CHECK(world_ != nullptr, "GeoDatabase requires a world");
+  IRP_CHECK(error_rate_ >= 0.0 && error_rate_ <= 1.0,
+            "error rate must be a probability");
+}
+
+void GeoDatabase::register_prefix(const Ipv4Prefix& prefix, CityId true_city) {
+  CityId recorded = true_city;
+  if (rng_.chance(error_rate_)) {
+    // Replace with a random city on the same continent — real geolocation is
+    // usually continent-correct but city-wrong.
+    const Continent continent = world_->continent_of_city(true_city);
+    const auto& countries = world_->countries_in(continent);
+    const CountryId country = rng_.pick(countries);
+    recorded = rng_.pick(world_->cities_in(country));
+    if (recorded != true_city) ++errors_;
+  }
+  trie_.insert(prefix, recorded);
+}
+
+std::optional<CityId> GeoDatabase::locate_city(Ipv4Addr addr) const {
+  return trie_.lookup(addr);
+}
+
+std::optional<CountryId> GeoDatabase::locate_country(Ipv4Addr addr) const {
+  const auto city = locate_city(addr);
+  if (!city) return std::nullopt;
+  return world_->city(*city).country;
+}
+
+std::optional<Continent> GeoDatabase::locate_continent(Ipv4Addr addr) const {
+  const auto country = locate_country(addr);
+  if (!country) return std::nullopt;
+  return world_->continent_of_country(*country);
+}
+
+}  // namespace irp

@@ -1,0 +1,53 @@
+// IP geolocation database (Alidade stand-in, §4.1 of the paper).
+//
+// The paper geolocates router IPs to cities in order to (a) scope hybrid
+// relationships to the cities where they apply, (b) isolate continental
+// traceroutes, and (c) detect domestic paths. Our database maps prefixes to
+// the cities where the owning AS deployed them; a configurable error rate
+// replaces the true city with a random same-continent city, modelling the
+// imperfect accuracy of real geolocation services.
+#pragma once
+
+#include <optional>
+
+#include "geo/world.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace irp {
+
+/// Prefix-to-city geolocation with injected, deterministic error.
+class GeoDatabase {
+ public:
+  /// `error_rate` is the probability that a registered prefix is recorded
+  /// at a wrong (same-continent) city.
+  GeoDatabase(const World* world, double error_rate, Rng rng);
+
+  /// Registers a prefix at its true city; error injection happens here so
+  /// that lookups are pure.
+  void register_prefix(const Ipv4Prefix& prefix, CityId true_city);
+
+  /// City for an address, by longest-prefix match.
+  std::optional<CityId> locate_city(Ipv4Addr addr) const;
+
+  /// Country for an address.
+  std::optional<CountryId> locate_country(Ipv4Addr addr) const;
+
+  /// Continent for an address.
+  std::optional<Continent> locate_continent(Ipv4Addr addr) const;
+
+  /// Number of registered prefixes.
+  std::size_t size() const { return trie_.size(); }
+
+  /// Number of prefixes whose recorded city differs from the truth.
+  std::size_t errors_injected() const { return errors_; }
+
+ private:
+  const World* world_;
+  double error_rate_;
+  Rng rng_;
+  PrefixTrie<CityId> trie_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace irp

@@ -1,0 +1,159 @@
+#include "geo/world.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace irp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusKm = 6371.0;
+
+/// Rough bounding boxes (lat_min, lat_max, lon_min, lon_max) per continent.
+struct Box {
+  double lat_min, lat_max, lon_min, lon_max;
+};
+
+Box continent_box(Continent c) {
+  switch (c) {
+    case Continent::kAfrica:       return {-30.0, 30.0, -15.0, 45.0};
+    case Continent::kAsia:         return {5.0, 55.0, 60.0, 140.0};
+    case Continent::kEurope:       return {38.0, 60.0, -8.0, 30.0};
+    case Continent::kNorthAmerica: return {25.0, 50.0, -120.0, -70.0};
+    case Continent::kOceania:      return {-40.0, -12.0, 115.0, 175.0};
+    case Continent::kSouthAmerica: return {-35.0, 5.0, -75.0, -40.0};
+  }
+  IRP_UNREACHABLE("unknown continent");
+}
+
+char continent_letter(Continent c) {
+  switch (c) {
+    case Continent::kAfrica:       return 'f';
+    case Continent::kAsia:         return 'a';
+    case Continent::kEurope:       return 'e';
+    case Continent::kNorthAmerica: return 'n';
+    case Continent::kOceania:      return 'o';
+    case Continent::kSouthAmerica: return 's';
+  }
+  IRP_UNREACHABLE("unknown continent");
+}
+
+}  // namespace
+
+std::string_view continent_code(Continent c) {
+  switch (c) {
+    case Continent::kAfrica:       return "AF";
+    case Continent::kAsia:         return "AS";
+    case Continent::kEurope:       return "EU";
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kOceania:      return "OC";
+    case Continent::kSouthAmerica: return "SA";
+  }
+  IRP_UNREACHABLE("unknown continent");
+}
+
+std::string_view continent_name(Continent c) {
+  switch (c) {
+    case Continent::kAfrica:       return "Africa";
+    case Continent::kAsia:         return "Asia";
+    case Continent::kEurope:       return "Europe";
+    case Continent::kNorthAmerica: return "N. America";
+    case Continent::kOceania:      return "Oceania";
+    case Continent::kSouthAmerica: return "S. America";
+  }
+  IRP_UNREACHABLE("unknown continent");
+}
+
+std::vector<Continent> all_continents() {
+  return {Continent::kAfrica,       Continent::kAsia,
+          Continent::kEurope,       Continent::kNorthAmerica,
+          Continent::kOceania,      Continent::kSouthAmerica};
+}
+
+World World::generate(const WorldConfig& config, Rng& rng) {
+  IRP_CHECK(config.countries_per_continent > 0, "need at least one country");
+  IRP_CHECK(config.cities_per_country > 0, "need at least one city");
+
+  World world;
+  world.countries_by_continent_.resize(kNumContinents);
+  for (Continent continent : all_continents()) {
+    const Box box = continent_box(continent);
+    int countries = config.countries_per_continent;
+    for (const auto& [c, n] : config.country_overrides)
+      if (c == continent) countries = n;
+    for (int i = 0; i < countries; ++i) {
+      Country country;
+      country.id = static_cast<CountryId>(world.countries_.size());
+      country.code = std::string{continent_letter(continent)} +
+                     std::to_string(i);
+      country.continent = continent;
+
+      // Country anchor point inside the continent box; cities cluster near it.
+      const double anchor_lat = rng.uniform(box.lat_min, box.lat_max);
+      const double anchor_lon = rng.uniform(box.lon_min, box.lon_max);
+
+      world.cities_by_country_.emplace_back();
+      for (int j = 0; j < config.cities_per_country; ++j) {
+        City city;
+        city.id = static_cast<CityId>(world.cities_.size());
+        city.name = country.code + "-city" + std::to_string(j);
+        city.country = country.id;
+        city.latitude = anchor_lat + rng.uniform(-2.0, 2.0);
+        city.longitude = anchor_lon + rng.uniform(-2.0, 2.0);
+        world.cities_by_country_.back().push_back(city.id);
+        world.cities_.push_back(std::move(city));
+      }
+      world.countries_by_continent_[static_cast<int>(continent)].push_back(
+          country.id);
+      world.countries_.push_back(std::move(country));
+    }
+  }
+  return world;
+}
+
+const Country& World::country(CountryId id) const {
+  IRP_CHECK(id < countries_.size(), "country id out of range");
+  return countries_[id];
+}
+
+const City& World::city(CityId id) const {
+  IRP_CHECK(id < cities_.size(), "city id out of range");
+  return cities_[id];
+}
+
+Continent World::continent_of_city(CityId id) const {
+  return country(city(id).country).continent;
+}
+
+Continent World::continent_of_country(CountryId id) const {
+  return country(id).continent;
+}
+
+const std::vector<CityId>& World::cities_in(CountryId id) const {
+  IRP_CHECK(id < cities_by_country_.size(), "country id out of range");
+  return cities_by_country_[id];
+}
+
+const std::vector<CountryId>& World::countries_in(Continent c) const {
+  return countries_by_continent_[static_cast<int>(c)];
+}
+
+double World::distance_km(CityId a, CityId b) const {
+  const City& ca = city(a);
+  const City& cb = city(b);
+  return great_circle_km(ca.latitude, ca.longitude, cb.latitude, cb.longitude);
+}
+
+double great_circle_km(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = lat1 * kPi / 180.0;
+  const double phi2 = lat2 * kPi / 180.0;
+  const double dphi = (lat2 - lat1) * kPi / 180.0;
+  const double dlambda = (lon2 - lon1) * kPi / 180.0;
+  const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                       std::sin(dlambda / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+}  // namespace irp

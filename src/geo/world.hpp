@@ -1,0 +1,115 @@
+// Geographic model: continents, countries, and cities.
+//
+// Geography drives several of the paper's analyses: continental vs
+// intercontinental traceroutes (Figure 3), domestic-path preference
+// (Table 3), hybrid per-city relationships (§4.1), and undersea cables (§6).
+// The world is synthetic but spatially coherent: countries live inside
+// continent bounding boxes and cities inside country neighborhoods, so
+// great-circle distances behave sensibly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace irp {
+
+/// The six inhabited continents, matching the paper's Table 3 rows.
+enum class Continent : std::uint8_t {
+  kAfrica,
+  kAsia,
+  kEurope,
+  kNorthAmerica,
+  kOceania,
+  kSouthAmerica,
+};
+
+inline constexpr int kNumContinents = 6;
+
+/// Short code used in reports, e.g. "EU".
+std::string_view continent_code(Continent c);
+
+/// Full name, e.g. "Europe".
+std::string_view continent_name(Continent c);
+
+/// All continents in enum order.
+std::vector<Continent> all_continents();
+
+using CountryId = std::uint32_t;
+using CityId = std::uint32_t;
+
+/// A country: belongs to one continent; identified by a synthetic ISO-like
+/// two-letter code used as the whois registration country.
+struct Country {
+  CountryId id = 0;
+  std::string code;      ///< e.g. "E3" — synthetic two-character code.
+  Continent continent = Continent::kEurope;
+};
+
+/// A city: a point location inside one country, used for link placement,
+/// hybrid-relationship scoping, and geolocation.
+struct City {
+  CityId id = 0;
+  std::string name;      ///< e.g. "e3-city2".
+  CountryId country = 0;
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// Default per-continent country-count overrides: North America gets a few
+/// large countries (US-like), which matters for the domestic-path analysis —
+/// a dense national mesh keeps model-preferred paths domestic.
+/// (A function rather than an NSDMI initializer list: GCC 12 emits a
+/// spurious -Wmaybe-uninitialized for the latter.)
+inline std::vector<std::pair<Continent, int>> default_country_overrides() {
+  std::vector<std::pair<Continent, int>> overrides;
+  overrides.emplace_back(Continent::kNorthAmerica, 4);
+  return overrides;
+}
+
+/// Parameters for synthetic world generation.
+struct WorldConfig {
+  int countries_per_continent = 8;
+  int cities_per_country = 3;
+  /// Per-continent country-count overrides; see default_country_overrides().
+  std::vector<std::pair<Continent, int>> country_overrides =
+      default_country_overrides();
+};
+
+/// The immutable geographic universe a study runs in.
+class World {
+ public:
+  /// Generates a world deterministically from `rng`.
+  static World generate(const WorldConfig& config, Rng& rng);
+
+  const std::vector<Country>& countries() const { return countries_; }
+  const std::vector<City>& cities() const { return cities_; }
+
+  const Country& country(CountryId id) const;
+  const City& city(CityId id) const;
+
+  Continent continent_of_city(CityId id) const;
+  Continent continent_of_country(CountryId id) const;
+
+  /// All cities of a country.
+  const std::vector<CityId>& cities_in(CountryId id) const;
+
+  /// All countries of a continent.
+  const std::vector<CountryId>& countries_in(Continent c) const;
+
+  /// Great-circle distance between two cities in kilometers.
+  double distance_km(CityId a, CityId b) const;
+
+ private:
+  std::vector<Country> countries_;
+  std::vector<City> cities_;
+  std::vector<std::vector<CityId>> cities_by_country_;
+  std::vector<std::vector<CountryId>> countries_by_continent_;
+};
+
+/// Great-circle distance between two lat/lon points in kilometers.
+double great_circle_km(double lat1, double lon1, double lat2, double lon2);
+
+}  // namespace irp

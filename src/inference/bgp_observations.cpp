@@ -1,0 +1,37 @@
+#include "inference/bgp_observations.hpp"
+
+namespace irp {
+
+void BgpObservations::ingest(std::span<const FeedEntry> feed) {
+  for (const FeedEntry& e : feed) {
+    if (!e.path.poison_set.empty()) continue;
+    const auto& hops = e.path.hops;
+    if (hops.size() < 2) continue;
+    const Asn origin = hops.back();
+    const Asn neighbor = hops[hops.size() - 2];
+    per_prefix_[e.prefix].insert({origin, neighbor});
+    any_prefix_.insert({origin, neighbor});
+  }
+}
+
+bool BgpObservations::announced(Asn origin, Asn neighbor,
+                                const Ipv4Prefix& prefix) const {
+  auto it = per_prefix_.find(prefix);
+  return it != per_prefix_.end() && it->second.count({origin, neighbor}) > 0;
+}
+
+bool BgpObservations::announced_any(Asn origin, Asn neighbor) const {
+  return any_prefix_.count({origin, neighbor}) > 0;
+}
+
+std::set<Asn> BgpObservations::neighbors_for(Asn origin,
+                                             const Ipv4Prefix& prefix) const {
+  std::set<Asn> out;
+  auto it = per_prefix_.find(prefix);
+  if (it == per_prefix_.end()) return out;
+  for (const auto& [o, n] : it->second)
+    if (o == origin) out.insert(n);
+  return out;
+}
+
+}  // namespace irp

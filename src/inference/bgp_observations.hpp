@@ -1,0 +1,41 @@
+// Per-prefix BGP visibility extracted from collector feeds.
+//
+// The prefix-specific-policy criteria of §4.3 need to know, from public BGP
+// data alone, whether an origin AS O was seen announcing prefix P to a
+// neighbor N. A feed path "... N O" for P is exactly that observation.
+#pragma once
+
+#include <map>
+#include <set>
+#include <span>
+
+#include "bgp/route.hpp"
+#include "net/ipv4.hpp"
+#include "topo/types.hpp"
+
+namespace irp {
+
+/// Which (origin -> neighbor) announcements were visible per prefix.
+class BgpObservations {
+ public:
+  /// Ingests feed entries (poisoned paths are skipped).
+  void ingest(std::span<const FeedEntry> feed);
+
+  /// True if the feeds show `origin` announcing `prefix` to `neighbor`.
+  bool announced(Asn origin, Asn neighbor, const Ipv4Prefix& prefix) const;
+
+  /// True if the feeds show `origin` announcing *any* prefix to `neighbor`.
+  bool announced_any(Asn origin, Asn neighbor) const;
+
+  /// Neighbors that `origin` was seen announcing `prefix` to.
+  std::set<Asn> neighbors_for(Asn origin, const Ipv4Prefix& prefix) const;
+
+  std::size_t size() const { return per_prefix_.size(); }
+
+ private:
+  /// (origin, neighbor) pairs seen for each prefix.
+  std::map<Ipv4Prefix, std::set<std::pair<Asn, Asn>>> per_prefix_;
+  std::set<std::pair<Asn, Asn>> any_prefix_;
+};
+
+}  // namespace irp

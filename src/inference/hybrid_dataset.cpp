@@ -1,0 +1,72 @@
+#include "inference/hybrid_dataset.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace irp {
+
+std::optional<Relationship> HybridDataset::relationship_at(
+    Asn a, Asn b, CityId city) const {
+  for (const auto& e : entries_) {
+    if (e.city != city) continue;
+    if (e.a == a && e.b == b) return e.rel_of_b_from_a;
+    if (e.a == b && e.b == a) return reverse(e.rel_of_b_from_a);
+  }
+  return std::nullopt;
+}
+
+bool HybridDataset::covers_pair(Asn a, Asn b) const {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const auto& e) {
+    return (e.a == a && e.b == b) || (e.a == b && e.b == a);
+  });
+}
+
+bool HybridDataset::is_partial_transit(Asn provider, Asn customer) const {
+  return std::find(partial_transit_.begin(), partial_transit_.end(),
+                   std::pair{provider, customer}) != partial_transit_.end();
+}
+
+HybridDataset build_hybrid_dataset(const Topology& topo, double coverage,
+                                   Rng& rng) {
+  HybridDataset out;
+
+  // Hybrid pairs: AS pairs connected by links with differing relationships.
+  std::map<std::pair<Asn, Asn>, std::vector<const Link*>> pairs;
+  topo.for_each_link([&](const Link& l) {
+    const auto key = l.a < l.b ? std::pair{l.a, l.b} : std::pair{l.b, l.a};
+    pairs[key].push_back(&l);
+  });
+  for (const auto& [pair, links] : pairs) {
+    if (links.size() < 2) continue;
+    std::set<Relationship> rels;
+    for (const Link* l : links)
+      rels.insert(topo.relationship_from(*l, pair.first));
+    if (rels.size() < 2) continue;  // Parallel links, same relationship.
+    if (!rng.chance(coverage)) continue;
+    for (const Link* l : links) {
+      HybridEntry e;
+      e.a = pair.first;
+      e.b = pair.second;
+      e.city = l->city;
+      e.rel_of_b_from_a = l->a == pair.first ? l->rel_of_b_from_a
+                                             : reverse(l->rel_of_b_from_a);
+      out.add(e);
+    }
+  }
+
+  // Partial-transit links.
+  topo.for_each_link([&](const Link& l) {
+    if (!l.partial_transit) return;
+    if (!rng.chance(coverage)) return;
+    const Relationship rel_b = l.rel_of_b_from_a;
+    if (rel_b == Relationship::kCustomer)
+      out.add_partial_transit(l.a, l.b);
+    else if (rel_b == Relationship::kProvider)
+      out.add_partial_transit(l.b, l.a);
+  });
+
+  return out;
+}
+
+}  // namespace irp

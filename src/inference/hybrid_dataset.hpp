@@ -1,0 +1,59 @@
+// Giotsas-style complex-relationship dataset (§4.1).
+//
+// In the paper this is an external input: pairs of ASes whose relationship
+// is hybrid (differs by city) or partial transit, published by Giotsas et
+// al. [IMC'14]. We synthesize that dataset from ground truth with partial
+// coverage, because no inference pipeline for it is part of the paper —
+// what matters is how *using* the dataset changes decision classification.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/world.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace irp {
+
+/// One city-scoped relationship entry of a hybrid pair.
+struct HybridEntry {
+  Asn a = 0;
+  Asn b = 0;
+  CityId city = 0;
+  Relationship rel_of_b_from_a = Relationship::kPeer;
+};
+
+/// The complex-relationships dataset: hybrid entries + partial-transit pairs.
+class HybridDataset {
+ public:
+  void add(HybridEntry entry) { entries_.push_back(entry); }
+  void add_partial_transit(Asn provider, Asn customer) {
+    partial_transit_.emplace_back(provider, customer);
+  }
+
+  /// City-specific relationship of `b` from `a`'s perspective, if the
+  /// dataset has an entry for this pair at this city.
+  std::optional<Relationship> relationship_at(Asn a, Asn b, CityId city) const;
+
+  /// True if the dataset knows any entry for the pair.
+  bool covers_pair(Asn a, Asn b) const;
+
+  /// True if the dataset records `provider` as a partial-transit provider
+  /// of `customer`.
+  bool is_partial_transit(Asn provider, Asn customer) const;
+
+  const std::vector<HybridEntry>& entries() const { return entries_; }
+  std::size_t num_partial_transit() const { return partial_transit_.size(); }
+
+ private:
+  std::vector<HybridEntry> entries_;
+  std::vector<std::pair<Asn, Asn>> partial_transit_;
+};
+
+/// Builds the dataset from ground truth with the given coverage probability
+/// per hybrid pair / partial-transit link.
+HybridDataset build_hybrid_dataset(const Topology& topo, double coverage,
+                                   Rng& rng);
+
+}  // namespace irp

@@ -1,0 +1,54 @@
+#include "inference/renumber.hpp"
+
+#include "util/check.hpp"
+
+namespace irp {
+
+AsnRenumberer AsnRenumberer::from(const InferredTopology& topo) {
+  AsnRenumberer out;
+  // std::map iteration gives ascending original ASNs, so dense ids are
+  // stable and order-preserving.
+  std::map<Asn, bool> seen;
+  for (const auto& [pair, _] : topo.links()) {
+    seen[pair.first] = true;
+    seen[pair.second] = true;
+  }
+  for (const auto& [asn, _] : seen) {
+    out.to_original_.push_back(asn);
+    out.to_dense_[asn] = static_cast<Asn>(out.to_original_.size());
+  }
+  return out;
+}
+
+Asn AsnRenumberer::to_dense(Asn original) const {
+  auto it = to_dense_.find(original);
+  IRP_CHECK(it != to_dense_.end(),
+            "ASN " + std::to_string(original) + " not in the renumbering");
+  return it->second;
+}
+
+Asn AsnRenumberer::to_original(Asn dense) const {
+  IRP_CHECK(dense >= 1 && dense <= to_original_.size(),
+            "dense id out of range");
+  return to_original_[dense - 1];
+}
+
+InferredTopology AsnRenumberer::renumber(const InferredTopology& topo) const {
+  InferredTopology out;
+  for (const auto& [pair, rel] : topo.links()) {
+    const Asn a = to_dense(pair.first);
+    const Asn b = to_dense(pair.second);
+    // Orientation is tied to the (min, max) key; re-express it explicitly.
+    const auto rel_from_a = topo.relationship(pair.first, pair.second);
+    if (*rel_from_a == Relationship::kPeer) {
+      out.set(a, b, InferredRel::kPeer);
+    } else if (*rel_from_a == Relationship::kCustomer) {
+      out.set(a, b, InferredRel::kAProviderOfB);  // a provides b.
+    } else {
+      out.set(b, a, InferredRel::kAProviderOfB);  // b provides a.
+    }
+  }
+  return out;
+}
+
+}  // namespace irp

@@ -1,0 +1,44 @@
+// Dense renumbering of sparse ASN spaces.
+//
+// The library's per-AS state lives in flat vectors indexed by ASN, which
+// requires a dense 1..N numbering. Synthetic topologies are dense by
+// construction; real-world relationship dumps (CAIDA) use sparse 32-bit
+// ASNs. AsnRenumberer maps between the two so real data can drive GrModel
+// and the classifiers.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "inference/relationships.hpp"
+
+namespace irp {
+
+/// Bidirectional sparse<->dense ASN mapping.
+class AsnRenumberer {
+ public:
+  /// Builds the mapping from every ASN appearing in `topo`, in ascending
+  /// original-ASN order (dense ids 1..N).
+  static AsnRenumberer from(const InferredTopology& topo);
+
+  /// Dense id of an original ASN; throws CheckError when unknown.
+  Asn to_dense(Asn original) const;
+
+  /// True if the original ASN is known.
+  bool knows(Asn original) const { return to_dense_.count(original) > 0; }
+
+  /// Original ASN of a dense id; throws CheckError when out of range.
+  Asn to_original(Asn dense) const;
+
+  /// Number of mapped ASNs (dense ids are 1..count()).
+  std::size_t count() const { return to_original_.size(); }
+
+  /// Rewrites a topology into the dense space.
+  InferredTopology renumber(const InferredTopology& topo) const;
+
+ private:
+  std::map<Asn, Asn> to_dense_;
+  std::vector<Asn> to_original_;  ///< Index 0 = dense id 1.
+};
+
+}  // namespace irp

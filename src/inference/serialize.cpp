@@ -1,0 +1,69 @@
+#include "inference/serialize.hpp"
+
+#include <charconv>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace irp {
+namespace {
+
+Asn parse_asn(std::string_view field, std::string_view line) {
+  Asn value = 0;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  IRP_CHECK(ec == std::errc{} && ptr == field.data() + field.size() &&
+                value != 0,
+            "bad ASN in relationship line: " + std::string(line));
+  return value;
+}
+
+}  // namespace
+
+std::string to_caida_format(const InferredTopology& topo) {
+  std::string out =
+      "# AS relationships (CAIDA serial-1 format)\n"
+      "# <provider-as>|<customer-as>|-1\n"
+      "# <peer-as>|<peer-as>|0\n";
+  for (const auto& [pair, rel] : topo.links()) {
+    const auto [a, b] = pair;
+    switch (rel) {
+      case InferredRel::kPeer:
+        out += std::to_string(a) + "|" + std::to_string(b) + "|0\n";
+        break;
+      case InferredRel::kAProviderOfB:
+        out += std::to_string(a) + "|" + std::to_string(b) + "|-1\n";
+        break;
+      case InferredRel::kBProviderOfA:
+        out += std::to_string(b) + "|" + std::to_string(a) + "|-1\n";
+        break;
+    }
+  }
+  return out;
+}
+
+InferredTopology from_caida_format(std::string_view text) {
+  InferredTopology topo;
+  for (std::string_view raw : split(text, '\n')) {
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split(line, '|');
+    IRP_CHECK(fields.size() >= 3,
+              "expected provider|customer|rel, got: " + std::string(line));
+    const Asn first = parse_asn(fields[0], line);
+    const Asn second = parse_asn(fields[1], line);
+    IRP_CHECK(first != second, "self relationship: " + std::string(line));
+    const std::string_view rel = trim(fields[2]);
+    if (rel == "0") {
+      topo.set(first, second, InferredRel::kPeer);
+    } else if (rel == "-1") {
+      // First field is the provider; set() normalizes the orientation.
+      topo.set(first, second, InferredRel::kAProviderOfB);
+    } else {
+      IRP_UNREACHABLE("unknown relationship code in: " + std::string(line));
+    }
+  }
+  return topo;
+}
+
+}  // namespace irp

@@ -1,0 +1,25 @@
+// CAIDA AS-relationship file format (serial-1) I/O.
+//
+// Lines of the form
+//   <provider-as>|<customer-as>|-1     (provider-to-customer)
+//   <peer-as>|<peer-as>|0              (peer-to-peer)
+// with '#' comments, as published by CAIDA's AS-Rank project. This lets the
+// analysis side of the library run against *real* relationship dumps
+// instead of the synthetic inference, and lets our inferred topologies be
+// exported for external tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "inference/relationships.hpp"
+
+namespace irp {
+
+/// Serializes an inferred topology as CAIDA serial-1 text.
+std::string to_caida_format(const InferredTopology& topo);
+
+/// Parses CAIDA serial-1 text. Throws CheckError on malformed lines.
+InferredTopology from_caida_format(std::string_view text);
+
+}  // namespace irp

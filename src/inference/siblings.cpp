@@ -1,0 +1,47 @@
+#include "inference/siblings.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace irp {
+
+void SiblingGroups::add_group(std::vector<Asn> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  if (members.size() < 2) return;
+  const std::size_t idx = groups_.size();
+  for (Asn asn : members) group_of_[asn] = idx;
+  groups_.push_back(std::move(members));
+}
+
+bool SiblingGroups::same_group(Asn a, Asn b) const {
+  auto ia = group_of_.find(a);
+  if (ia == group_of_.end()) return false;
+  auto ib = group_of_.find(b);
+  return ib != group_of_.end() && ia->second == ib->second;
+}
+
+SiblingGroups infer_siblings(const WhoisDb& whois, const DnsSoaDb& soa,
+                             const SiblingInferenceConfig& config) {
+  // Key: authoritative domain (SOA of the whois e-mail domain).
+  std::map<std::string, std::vector<Asn>> by_anchor;
+  whois.for_each([&](const WhoisRecord& rec) {
+    const std::string domain = to_lower(rec.email_domain);
+    // Filter groups anchored at popular e-mail providers or RIRs — shared
+    // webmail does not imply shared ownership.
+    const bool popular =
+        std::find(config.popular_email_providers.begin(),
+                  config.popular_email_providers.end(),
+                  domain) != config.popular_email_providers.end();
+    if (popular || starts_with(domain, config.rir_domain_prefix)) return;
+    by_anchor[soa.soa_of(domain)].push_back(rec.asn);
+  });
+
+  SiblingGroups out;
+  for (auto& [anchor, members] : by_anchor) out.add_group(std::move(members));
+  return out;
+}
+
+}  // namespace irp

@@ -1,0 +1,50 @@
+// Sibling-AS inference from whois e-mail domains and DNS SOA records (§4.2).
+//
+// Following the paper's refinement of Cai et al.: group ASes whose whois
+// contact e-mail domains resolve — directly or via their DNS SOA record —
+// to the same authoritative domain. Groups anchored at popular webmail
+// providers or at regional Internet registries are discarded (those domains
+// say nothing about common ownership).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "topo/registry.hpp"
+#include "topo/types.hpp"
+
+namespace irp {
+
+/// A partition of (some) ASes into sibling groups.
+class SiblingGroups {
+ public:
+  /// Adds a group; single-AS groups are dropped.
+  void add_group(std::vector<Asn> members);
+
+  /// True if both ASes are in the same inferred sibling group.
+  bool same_group(Asn a, Asn b) const;
+
+  std::size_t num_groups() const { return groups_.size(); }
+
+  const std::vector<std::vector<Asn>>& groups() const { return groups_; }
+
+ private:
+  std::vector<std::vector<Asn>> groups_;
+  std::map<Asn, std::size_t> group_of_;
+};
+
+/// Domains whose presence in whois says nothing about AS ownership.
+struct SiblingInferenceConfig {
+  std::vector<std::string> popular_email_providers{"mail-a.example",
+                                                   "mail-b.example"};
+  /// Any domain starting with this prefix is treated as RIR-hosted.
+  std::string rir_domain_prefix{"rir-"};
+};
+
+/// Infers sibling groups from the registries.
+SiblingGroups infer_siblings(const WhoisDb& whois, const DnsSoaDb& soa,
+                             const SiblingInferenceConfig& config = {});
+
+}  // namespace irp

@@ -1,0 +1,20 @@
+#include "net/address_plan.hpp"
+
+namespace irp {
+
+AddressPlan::AddressPlan(Ipv4Prefix pool) : pool_(pool) {
+  IRP_CHECK(pool.length() <= 30, "pool too small to subdivide");
+}
+
+Ipv4Prefix AddressPlan::allocate(int length) {
+  IRP_CHECK(length >= pool_.length() && length <= 32,
+            "requested length outside pool range");
+  const std::uint64_t block = std::uint64_t{1} << (32 - length);
+  // Align the cursor up to the block size so the prefix is canonical.
+  const std::uint64_t aligned = (cursor_ + block - 1) / block * block;
+  IRP_CHECK(aligned + block <= pool_.size(), "address pool exhausted");
+  cursor_ = aligned + block;
+  return Ipv4Prefix{pool_.address_at(aligned), length};
+}
+
+}  // namespace irp

@@ -1,0 +1,93 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace irp {
+namespace {
+
+std::optional<std::uint32_t> parse_octet(std::string_view s) {
+  if (s.empty() || s.size() > 3) return std::nullopt;
+  std::uint32_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || v > 255)
+    return std::nullopt;
+  return v;
+}
+
+constexpr std::uint32_t mask_for(int length) {
+  return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& p : parts) {
+    const auto octet = parse_octet(p);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+  return std::to_string((value_ >> 24) & 0xff) + "." +
+         std::to_string((value_ >> 16) & 0xff) + "." +
+         std::to_string((value_ >> 8) & 0xff) + "." +
+         std::to_string(value_ & 0xff);
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr network, int length)
+    : network_(network.value() & mask_for(length)), length_(length) {
+  IRP_CHECK(length >= 0 && length <= 32, "prefix length must be in [0,32]");
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  int len = -1;
+  auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      len < 0 || len > 32)
+    return std::nullopt;
+  return Ipv4Prefix{*addr, len};
+}
+
+Ipv4Addr Ipv4Prefix::netmask() const { return Ipv4Addr{mask_for(length_)}; }
+
+bool Ipv4Prefix::contains(Ipv4Addr addr) const {
+  return (addr.value() & mask_for(length_)) == network_.value();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return other.length_ >= length_ && contains(other.network_);
+}
+
+Ipv4Addr Ipv4Prefix::address_at(std::uint64_t i) const {
+  IRP_CHECK(i < size(), "address index out of prefix range");
+  return Ipv4Addr{network_.value() + static_cast<std::uint32_t>(i)};
+}
+
+std::pair<Ipv4Prefix, Ipv4Prefix> Ipv4Prefix::split() const {
+  IRP_CHECK(length_ < 32, "cannot split a /32");
+  const Ipv4Prefix lo{network_, length_ + 1};
+  const Ipv4Prefix hi{
+      Ipv4Addr{network_.value() | (std::uint32_t{1} << (31 - length_))},
+      length_ + 1};
+  return {lo, hi};
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace irp

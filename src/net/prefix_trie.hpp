@@ -1,0 +1,91 @@
+// Longest-prefix-match trie mapping IPv4 prefixes to values.
+//
+// Used for IP-to-AS conversion (mapping traceroute hop addresses to the AS
+// originating the covering prefix) and for forwarding-table lookups.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace irp {
+
+/// Binary trie keyed by IPv4 prefixes supporting exact insert and
+/// longest-prefix-match lookup.
+template <typename Value>
+class PrefixTrie {
+ public:
+  /// Inserts or replaces the value at `prefix`.
+  void insert(const Ipv4Prefix& prefix, Value value) {
+    Node* node = &root_;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      auto& child = node->child[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    node->value = std::move(value);
+    ++size_;
+  }
+
+  /// Longest-prefix match; nullopt when no covering prefix exists.
+  std::optional<Value> lookup(Ipv4Addr addr) const {
+    std::optional<Value> best;
+    const Node* node = &root_;
+    if (node->value) best = node->value;
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (!node) break;
+      if (node->value) best = node->value;
+    }
+    return best;
+  }
+
+  /// Value stored exactly at `prefix`, if any.
+  std::optional<Value> exact(const Ipv4Prefix& prefix) const {
+    const Node* node = &root_;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.network().value() >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (!node) return std::nullopt;
+    }
+    return node->value;
+  }
+
+  /// Number of inserted prefixes (inserts replacing a value still count once
+  /// per insert call; intended for sanity checks, not set semantics).
+  std::size_t size() const { return size_; }
+
+  /// Visits every (prefix, value) pair in lexicographic order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(&root_, 0, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  template <typename Fn>
+  static void walk(const Node* node, std::uint32_t bits, int depth, Fn& fn) {
+    if (node->value)
+      fn(Ipv4Prefix{Ipv4Addr{bits}, depth}, *node->value);
+    for (int b = 0; b < 2; ++b) {
+      if (node->child[b]) {
+        const std::uint32_t next =
+            b ? bits | (std::uint32_t{1} << (31 - depth)) : bits;
+        walk(node->child[b].get(), next, depth + 1, fn);
+      }
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace irp

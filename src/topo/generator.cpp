@@ -1,0 +1,962 @@
+#include "topo/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace irp {
+namespace {
+
+/// Continent-specific multiplier for the domestic-preference probability.
+/// Table 3 of the paper shows domestic-path preference explains far fewer
+/// violations in North America (1.9%) than elsewhere (~40-66%): US networks
+/// rarely need to *avoid* international routes because the domestic mesh is
+/// dense. The generator reproduces that asymmetry at the policy level.
+double domestic_factor(Continent c) {
+  switch (c) {
+    case Continent::kAfrica:       return 1.3;
+    case Continent::kAsia:         return 0.9;
+    case Continent::kEurope:       return 1.3;
+    case Continent::kNorthAmerica: return 0.08;
+    case Continent::kOceania:      return 1.3;
+    case Continent::kSouthAmerica: return 1.3;
+  }
+  IRP_UNREACHABLE("unknown continent");
+}
+
+/// Builds one GeneratedInternet; all state lives here during generation.
+class Builder {
+ public:
+  explicit Builder(const GeneratorConfig& config)
+      : cfg_(config),
+        rng_(config.seed),
+        out_(std::make_unique<GeneratedInternet>()),
+        plan_(Ipv4Prefix{Ipv4Addr{10, 0, 0, 0}, 8}) {
+    IRP_CHECK(cfg_.num_snapshots >= 1, "need at least one snapshot");
+    out_->config = cfg_;
+    out_->measurement_epoch = cfg_.num_snapshots - 1;
+  }
+
+  std::unique_ptr<GeneratedInternet> build() {
+    Rng world_rng = rng_.fork();
+    out_->world = World::generate(cfg_.world, world_rng);
+    out_->geo = std::make_unique<GeoDatabase>(&out_->world,
+                                              cfg_.geoloc_error_rate,
+                                              rng_.fork());
+    make_tier1s();
+    make_large_isps();
+    make_education();
+    make_content_ases();
+    make_cables();
+    make_small_isps();
+    make_stubs();
+    make_testbed();
+    make_links();
+    make_hybrid_pairs();
+    make_prefixes();
+    make_caches_and_catalog();
+    make_registries();
+    pick_collectors();
+    return std::move(out_);
+  }
+
+ private:
+  using CityList = std::vector<CityId>;
+
+  const World& world() const { return out_->world; }
+  Topology& topo() { return out_->topology; }
+
+  // ---------------------------------------------------------------- helpers
+
+  CountryId random_country(Continent c) {
+    return rng_.pick(world().countries_in(c));
+  }
+
+  CityId random_city_in(CountryId country) {
+    return rng_.pick(world().cities_in(country));
+  }
+
+  /// Creates an AS with points of presence at the given cities. Infra
+  /// prefixes (router addresses) are allocated and geolocated per PoP.
+  Asn make_as(AsType type, OrgId org, CountryId home, const CityList& cities) {
+    AsNode node;
+    node.type = type;
+    node.org = org;
+    node.home_country = home;
+    for (CityId city : cities) {
+      PointOfPresence pop;
+      pop.city = city;
+      pop.router_prefix = plan_.allocate(24);
+      out_->geo->register_prefix(pop.router_prefix, city);
+      node.pops.push_back(pop);
+    }
+    IRP_CHECK(!node.pops.empty(), "an AS needs at least one PoP");
+    return topo().add_as(std::move(node));
+  }
+
+  OrgId next_org() { return org_counter_++; }
+
+  bool has_pop_on_continent(Asn asn, Continent c) const {
+    for (const auto& pop : out_->topology.as_node(asn).pops)
+      if (out_->world.continent_of_city(pop.city) == c) return true;
+    return false;
+  }
+
+  /// A plausible interconnection city for a link between `a` and `b`:
+  /// a shared city if one exists, otherwise a random PoP city of either end.
+  CityId interconnect_city(Asn a, Asn b) {
+    const auto& pa = topo().as_node(a).pops;
+    const auto& pb = topo().as_node(b).pops;
+    std::vector<CityId> common;
+    for (const auto& x : pa)
+      for (const auto& y : pb)
+        if (x.city == y.city) common.push_back(x.city);
+    if (!common.empty()) return rng_.pick(common);
+    return rng_.chance(0.5) ? rng_.pick(pa).city : rng_.pick(pb).city;
+  }
+
+  int igp_cost(Asn asn, CityId link_city) const {
+    const auto& pops = out_->topology.as_node(asn).pops;
+    double best = 1e18;
+    for (const auto& pop : pops)
+      best = std::min(best, out_->world.distance_km(pop.city, link_city));
+    return 1 + static_cast<int>(best / 50.0);
+  }
+
+  struct ConnectOpts {
+    bool stable = false;        ///< Exempt from birth/death churn.
+    bool allow_te = true;       ///< Eligible for local-pref TE overrides.
+    int lp_delta_a = 0;         ///< Explicit deltas (applied on top of TE).
+    int lp_delta_b = 0;
+    bool partial_allowed = true;
+    int forced_died_epoch = -1; ///< >=0 forces the link to die then.
+  };
+
+  LinkId connect(Asn a, Asn b, Relationship rel_of_b_from_a) {
+    return connect(a, b, rel_of_b_from_a, ConnectOpts{});
+  }
+
+  LinkId connect(Asn a, Asn b, Relationship rel_of_b_from_a,
+                 ConnectOpts opts) {
+    if (a == b) return kInvalidLink;
+    // Avoid duplicate plain links between a pair (hybrid pairs are created
+    // explicitly elsewhere).
+    if (!topo().links_between(a, b).empty()) return kInvalidLink;
+
+    Link link;
+    link.a = a;
+    link.b = b;
+    link.rel_of_b_from_a = rel_of_b_from_a;
+    link.city = interconnect_city(a, b);
+    // Small deterministic jitter keeps IGP costs from tying everywhere —
+    // real intradomain metrics almost never tie across distinct exits.
+    link.igp_cost_a = igp_cost(a, link.city) + rng_.uniform_int(0, 3);
+    link.igp_cost_b = igp_cost(b, link.city) + rng_.uniform_int(0, 3);
+    link.lp_delta_a = opts.lp_delta_a;
+    link.lp_delta_b = opts.lp_delta_b;
+
+    if (opts.allow_te) {
+      // Traffic engineering that crosses Gao-Rexford class boundaries, e.g.
+      // preferring a peer over a customer (the paper's Cogent/Akamai case).
+      if (rng_.chance(cfg_.te_override_prob))
+        link.lp_delta_a += rng_.chance(0.5) ? 150 : -150;
+      if (rng_.chance(cfg_.te_override_prob))
+        link.lp_delta_b += rng_.chance(0.5) ? 150 : -150;
+    }
+
+    const bool is_transit = rel_of_b_from_a == Relationship::kCustomer ||
+                            rel_of_b_from_a == Relationship::kProvider;
+    if (opts.partial_allowed && is_transit &&
+        rng_.chance(cfg_.partial_transit_prob))
+      link.partial_transit = true;
+
+    const int last = out_->measurement_epoch;
+    if (opts.forced_died_epoch >= 0) {
+      link.died_epoch = opts.forced_died_epoch;
+    } else if (!opts.stable && last >= 1) {
+      if (rng_.chance(cfg_.link_birth_prob))
+        link.born_epoch = rng_.uniform_int(1, last);
+      else if (rng_.chance(cfg_.link_death_prob))
+        link.died_epoch = rng_.uniform_int(
+            std::max(1, link.born_epoch + 1), last);
+    }
+    return topo().add_link(link);
+  }
+
+  // ------------------------------------------------------------ populations
+
+  void make_tier1s() {
+    for (int i = 0; i < cfg_.tier1_count; ++i) {
+      const OrgId org = next_org();
+      CityList cities;
+      auto continents = all_continents();
+      rng_.shuffle(continents);
+      const int presence = rng_.uniform_int(4, kNumContinents);
+      CountryId home = 0;
+      for (int c = 0; c < presence; ++c) {
+        const CountryId country = random_country(continents[c]);
+        if (c == 0) home = country;
+        cities.push_back(random_city_in(country));
+        if (rng_.chance(0.4)) cities.push_back(random_city_in(country));
+      }
+      const Asn asn = make_as(AsType::kTier1, org, home, cities);
+      out_->tier1s.push_back(asn);
+    }
+  }
+
+  void make_large_isps() {
+    large_by_continent_.resize(kNumContinents);
+    for (Continent continent : all_continents()) {
+      for (int i = 0; i < cfg_.large_isps_per_continent; ++i) {
+        const OrgId org = next_org();
+        const Asn asn = make_regional_isp(org, continent);
+        large_by_continent_[int(continent)].push_back(asn);
+        out_->large_isps.push_back(asn);
+
+        if (rng_.chance(cfg_.sibling_org_prob)) {
+          // Two patterns of multi-ASN organizations (§4.2): regional splits
+          // (Verizon AS701/702/703, one ASN per region) and same-region
+          // mergers (Level 3 + Global Crossing) whose customer cones
+          // overlap — the overlap produces sibling-flavored deviations
+          // from the GR model.
+          const bool merger = rng_.chance(0.5);
+          const int extra = merger ? 1 : rng_.uniform_int(1, 2);
+          std::vector<Asn> members{asn};
+          auto continents = all_continents();
+          rng_.shuffle(continents);
+          for (int s = 0, made = 0; s < kNumContinents && made < extra; ++s) {
+            const Continent where = merger ? continent : continents[s];
+            if (!merger && continents[s] == continent) continue;
+            const Asn sib = make_regional_isp(org, where);
+            large_by_continent_[int(where)].push_back(sib);
+            out_->large_isps.push_back(sib);
+            members.push_back(sib);
+            if (merger) merger_pairs_.emplace_back(asn, sib);
+            ++made;
+          }
+          // Sibling links: mutual transit inside the organization.
+          for (std::size_t m = 1; m < members.size(); ++m)
+            connect(members[0], members[m], Relationship::kSibling,
+                    {.stable = true, .allow_te = false});
+        }
+      }
+    }
+  }
+
+  bool is_na_primary(const Country& country) const {
+    return country.continent == Continent::kNorthAmerica &&
+           country.id == out_->world.countries_in(
+                             Continent::kNorthAmerica).front();
+  }
+
+  Asn make_regional_isp(OrgId org, Continent continent) {
+    CityList cities;
+    const int countries = rng_.uniform_int(2, 4);
+    CountryId home = 0;
+    std::vector<CountryId> pool = world().countries_in(continent);
+    rng_.shuffle(pool);
+    // North-American ISPs are usually headquartered in the primary country.
+    if (continent == Continent::kNorthAmerica && rng_.chance(0.7)) {
+      const CountryId primary = world().countries_in(continent).front();
+      auto it = std::find(pool.begin(), pool.end(), primary);
+      if (it != pool.end()) std::iter_swap(pool.begin(), it);
+    }
+    for (int c = 0; c < countries && c < int(pool.size()); ++c) {
+      if (c == 0) home = pool[c];
+      cities.push_back(random_city_in(pool[c]));
+    }
+    return make_as(AsType::kLargeIsp, org, home, cities);
+  }
+
+  void make_education() {
+    edu_by_continent_.resize(kNumContinents);
+    for (Continent continent : all_continents()) {
+      for (int i = 0; i < cfg_.education_per_continent; ++i) {
+        CityList cities;
+        std::vector<CountryId> pool = world().countries_in(continent);
+        rng_.shuffle(pool);
+        CountryId home = pool[0];
+        for (int c = 0; c < 3 && c < int(pool.size()); ++c)
+          cities.push_back(random_city_in(pool[c]));
+        const Asn asn =
+            make_as(AsType::kEducation, next_org(), home, cities);
+        edu_by_continent_[int(continent)].push_back(asn);
+        out_->education.push_back(asn);
+      }
+    }
+  }
+
+  void make_content_ases() {
+    for (int i = 0; i < cfg_.content_orgs; ++i) {
+      const OrgId org = next_org();
+      CityList cities;
+      auto continents = all_continents();
+      rng_.shuffle(continents);
+      const int presence = rng_.uniform_int(3, 5);
+      CountryId home = 0;
+      for (int c = 0; c < presence; ++c) {
+        const CountryId country = random_country(continents[c]);
+        if (c == 0) home = country;
+        cities.push_back(random_city_in(country));
+      }
+      const Asn asn = make_as(AsType::kContent, org, home, cities);
+      out_->content_asns.push_back(asn);
+      content_primary_.push_back(asn);
+
+      if (rng_.chance(cfg_.content_sibling_prob)) {
+        // A second ASN from a merger/acquisition, same organization.
+        const CountryId home2 = random_country(continents[presence % 6]);
+        const Asn sib = make_as(AsType::kContent, org, home2,
+                                {random_city_in(home2)});
+        out_->content_asns.push_back(sib);
+        connect(asn, sib, Relationship::kSibling,
+                {.stable = true, .allow_te = false});
+      }
+    }
+  }
+
+  void make_cables() {
+    for (int i = 0; i < cfg_.cable_count; ++i) {
+      auto continents = all_continents();
+      rng_.shuffle(continents);
+      const Continent side_a = continents[0];
+      const Continent side_b = continents[1];
+      const CountryId ca = random_country(side_a);
+      const CountryId cb = random_country(side_b);
+      const CityId landing_a = random_city_in(ca);
+      const CityId landing_b = random_city_in(cb);
+      const Asn asn = make_as(AsType::kCable, next_org(), ca,
+                              {landing_a, landing_b});
+      out_->cable_asns.push_back(asn);
+      cable_sides_.push_back({asn, side_a, side_b});
+    }
+  }
+
+  void make_small_isps() {
+    small_by_country_.resize(world().countries().size());
+    for (const Country& country : world().countries()) {
+      int count = cfg_.small_isps_per_country;
+      if (is_na_primary(country)) count *= cfg_.na_primary_country_factor;
+      for (int i = 0; i < count; ++i) {
+        CityList cities{random_city_in(country.id)};
+        if (rng_.chance(0.5)) cities.push_back(random_city_in(country.id));
+        const Asn asn =
+            make_as(AsType::kSmallIsp, next_org(), country.id, cities);
+        small_by_country_[country.id].push_back(asn);
+        out_->small_isps.push_back(asn);
+      }
+    }
+  }
+
+  void make_stubs() {
+    stubs_by_country_.resize(world().countries().size());
+    for (const Country& country : world().countries()) {
+      int count = cfg_.stubs_per_country;
+      if (is_na_primary(country)) count *= cfg_.na_primary_country_factor;
+      for (int i = 0; i < count; ++i) {
+        const Asn asn = make_as(AsType::kStub, next_org(), country.id,
+                                {random_city_in(country.id)});
+        stubs_by_country_[country.id].push_back(asn);
+        out_->stubs.push_back(asn);
+      }
+    }
+  }
+
+  void make_testbed() {
+    // University muxes: six on one continent, the rest on another, echoing
+    // the paper's six US universities plus one Brazilian provider.
+    const Continent primary = Continent::kNorthAmerica;
+    const Continent secondary = Continent::kSouthAmerica;
+    for (int i = 0; i < cfg_.testbed_mux_count; ++i) {
+      const Continent continent = i < 6 ? primary : secondary;
+      const CountryId country = random_country(continent);
+      const Asn mux = make_as(AsType::kEducation, next_org(), country,
+                              {random_city_in(country)});
+      out_->testbed_muxes.push_back(mux);
+    }
+    const CountryId tb_home =
+        out_->topology.as_node(out_->testbed_muxes[0]).home_country;
+    out_->testbed_asn =
+        make_as(AsType::kTestbed, next_org(), tb_home,
+                {out_->topology.as_node(out_->testbed_muxes[0]).pops[0].city});
+  }
+
+  // ----------------------------------------------------------------- links
+
+  void make_links() {
+    // Tier-1 clique: full settlement-free mesh.
+    for (std::size_t i = 0; i < out_->tier1s.size(); ++i)
+      for (std::size_t j = i + 1; j < out_->tier1s.size(); ++j)
+        connect(out_->tier1s[i], out_->tier1s[j], Relationship::kPeer,
+                {.stable = true});
+
+    // Large ISPs: transit from Tier-1s, peering within (and occasionally
+    // across) continents.
+    for (Continent continent : all_continents()) {
+      const auto& larges = large_by_continent_[int(continent)];
+      for (Asn isp : larges) {
+        const int providers = rng_.uniform_int(1, 2);
+        auto t1 = pick_tier1s(continent, providers);
+        for (std::size_t p = 0; p < t1.size(); ++p)
+          connect(isp, t1[p], Relationship::kProvider,
+                  {.stable = p == 0});  // Primary transit never churns.
+        for (Asn other : larges)
+          if (other < isp &&
+              rng_.chance(cfg_.large_isp_same_continent_peer_prob))
+            connect(isp, other, Relationship::kPeer);
+      }
+    }
+    for (Asn a : out_->large_isps)
+      for (Asn b : out_->large_isps)
+        if (b < a && rng_.chance(cfg_.large_isp_cross_continent_peer_prob))
+          connect(a, b, Relationship::kPeer);
+
+    // Education backbones: one Tier-1 (or large ISP) provider, dense GREN
+    // mesh across continents.
+    for (Asn edu : out_->education) {
+      connect(edu, rng_.pick(out_->tier1s), Relationship::kProvider,
+              {.stable = true});
+      if (rng_.chance(0.5))
+        connect(edu, rng_.pick(out_->large_isps), Relationship::kProvider);
+    }
+    for (Asn a : out_->education)
+      for (Asn b : out_->education)
+        if (b < a && rng_.chance(cfg_.education_mesh_prob))
+          connect(a, b, Relationship::kPeer, {.allow_te = false});
+
+    // Content providers: transit from Tier-1s/large ISPs plus wide peering.
+    // The second wide-deployment org (the "Netflix-like" one) serves almost
+    // everything from off-net caches and keeps only thin origin peering —
+    // which is exactly why the stale direct link created below dominates
+    // the model's paths toward its origin network.
+    const Asn thin_peering_org =
+        content_primary_.size() > 1 ? content_primary_[1] : 0;
+    for (Asn cp : out_->content_asns) {
+      connect(cp, rng_.pick(out_->tier1s), Relationship::kProvider,
+              {.stable = true});
+      if (rng_.chance(0.7))
+        connect(cp, rng_.pick(out_->large_isps), Relationship::kProvider);
+      const double peer_scale = cp == thin_peering_org ? 0.15 : 1.0;
+      for (Continent continent : all_continents()) {
+        if (!has_pop_on_continent(cp, continent)) continue;
+        for (Asn isp : large_by_continent_[int(continent)])
+          if (rng_.chance(cfg_.content_large_peer_prob * peer_scale))
+            connect(cp, isp, Relationship::kPeer);
+        for (CountryId country : world().countries_in(continent))
+          for (Asn isp : small_by_country_[country])
+            if (rng_.chance(cfg_.content_small_peer_prob * peer_scale))
+              connect(cp, isp, Relationship::kPeer);
+      }
+    }
+    // The "Cogent/Akamai" pattern (§5): some providers of the big content
+    // networks de-preference their direct customer route below peer routes,
+    // concentrating NonBest violations on those destinations.
+    for (int i = 0; i < cfg_.wide_deployment_orgs &&
+                    i < int(content_primary_.size()); ++i) {
+      const Asn cp = content_primary_[i];
+      for (LinkId lid : topo().as_node(cp).links) {
+        Link& l = topo().link_mutable(lid);
+        if (topo().relationship_from(l, cp) != Relationship::kProvider)
+          continue;
+        if (!rng_.chance(0.7)) continue;
+        if (l.a == cp)
+          l.lp_delta_b -= 150;  // The provider side de-prefs the route.
+        else
+          l.lp_delta_a -= 150;
+      }
+    }
+
+    // A guaranteed stale link, echoing the paper's Netflix/AS3549 finding: a
+    // direct peering that existed in earlier snapshots but is gone at
+    // measurement time (it survives in the aggregated inferred topology).
+    // With the thin origin peering above, this dead shortcut dominates the
+    // model's view of paths toward the org's own network.
+    if (!content_primary_.empty() && out_->measurement_epoch >= 1) {
+      const Asn victim = content_primary_[1 % content_primary_.size()];
+      for (int i = 0; i < 3 && i < int(out_->tier1s.size()); ++i)
+        stale_content_link_ = connect(
+            victim, out_->tier1s[i], Relationship::kPeer,
+            {.allow_te = false,
+             .forced_died_epoch = out_->measurement_epoch});
+    }
+
+    // Undersea cables: the attached ISPs buy point-to-point transit from the
+    // cable operator. The operator has no providers or peers, so it can only
+    // carry traffic between its landing sides — which is exactly the
+    // behaviour that confuses relationship inference (§6).
+    for (const auto& cable : cable_sides_) {
+      for (Continent side : {cable.side_a, cable.side_b}) {
+        const auto& pool = large_by_continent_[int(side)];
+        if (pool.empty()) continue;
+        const int attach = rng_.uniform_int(cfg_.cable_attach_per_side_min,
+                                            cfg_.cable_attach_per_side_max);
+        auto chosen = rng_.sample_indices(
+            pool.size(), std::min<std::size_t>(attach, pool.size()));
+        for (std::size_t idx : chosen)
+          connect(cable.asn, pool[idx], Relationship::kCustomer,
+                  {.stable = true,
+                   .allow_te = false,
+                   // The ISP side up-prefs the cable shortcut above regular
+                   // providers but below peers.
+                   .lp_delta_b = cfg_.cable_lp_delta,
+                   .partial_allowed = false});
+      }
+    }
+
+    // Small ISPs: transit from large ISPs of their continent (sometimes
+    // directly from a Tier-1), national peering meshes (IXP-style edge
+    // richness).
+    for (const Country& country : world().countries()) {
+      const auto& larges = large_by_continent_[int(country.continent)];
+      // Weighted provider pool: large ISPs dominate, Tier-1s sell direct
+      // transit to regional ISPs too (this is what gives real Tier-1s their
+      // towering transit degrees).
+      std::vector<Asn> pool;
+      for (Asn l : larges) for (int w = 0; w < 3; ++w) pool.push_back(l);
+      for (Asn t : out_->tier1s)
+        if (has_pop_on_continent(t, country.continent)) pool.push_back(t);
+      for (Asn isp : small_by_country_[country.id]) {
+        const int providers = rng_.uniform_int(1, 3);
+        for (int p = 0; p < providers && !pool.empty(); ++p)
+          connect(isp, rng_.pick(pool), Relationship::kProvider,
+                  {.stable = p == 0});
+        for (Asn other : small_by_country_[country.id])
+          if (other < isp && rng_.chance(cfg_.small_isp_same_country_peer_prob))
+            connect(isp, other, Relationship::kPeer);
+      }
+    }
+
+    // Stubs: one or two providers, mostly national access ISPs with the
+    // occasional direct large-ISP uplink; occasional IXP peering with other
+    // local stubs.
+    for (const Country& country : world().countries()) {
+      std::vector<Asn> upstreams;
+      for (Asn s : small_by_country_[country.id])
+        for (int w = 0; w < 8; ++w) upstreams.push_back(s);
+      for (Asn isp : large_by_continent_[int(country.continent)])
+        upstreams.push_back(isp);
+      IRP_CHECK(!upstreams.empty(), "country without any ISP");
+      for (Asn stub : stubs_by_country_[country.id]) {
+        connect(stub, rng_.pick(upstreams), Relationship::kProvider,
+                {.stable = true});
+        if (rng_.chance(cfg_.stub_multihome_prob))
+          connect(stub, rng_.pick(upstreams), Relationship::kProvider);
+        if (rng_.chance(cfg_.stub_ixp_peer_prob))
+          connect(stub, rng_.pick(stubs_by_country_[country.id]),
+                  Relationship::kPeer, {.allow_te = false});
+      }
+    }
+
+    // Testbed muxes: customers of an education backbone (plus sometimes a
+    // commercial ISP); the testbed AS is a customer of every mux.
+    for (std::size_t i = 0; i < out_->testbed_muxes.size(); ++i) {
+      const Asn mux = out_->testbed_muxes[i];
+      const Continent continent = world().continent_of_country(
+          topo().as_node(mux).home_country);
+      const auto& edus = edu_by_continent_[int(continent)];
+      if (!edus.empty())
+        connect(mux, rng_.pick(edus), Relationship::kProvider,
+                {.stable = true, .allow_te = false});
+      else
+        connect(mux, rng_.pick(out_->large_isps), Relationship::kProvider,
+                {.stable = true, .allow_te = false});
+      if (rng_.chance(0.5))
+        connect(mux, rng_.pick(large_by_continent_[int(continent)]),
+                Relationship::kProvider, {.allow_te = false});
+      const LinkId l =
+          connect(out_->testbed_asn, mux, Relationship::kProvider,
+                  {.stable = true, .allow_te = false, .partial_allowed = false});
+      IRP_CHECK(l != kInvalidLink, "testbed mux link creation failed");
+      out_->testbed_mux_links.push_back(l);
+    }
+
+    reinforce_merger_overlap();
+    assign_policy_flags();
+  }
+
+  /// Post-merger integration: customers of one merged ASN often buy a
+  /// second uplink from the other (one sales organization, two networks).
+  /// The resulting cone overlap is what makes per-ASN GR models misjudge
+  /// sibling routing (§4.2): the organization hands traffic across the
+  /// sibling link even when each ASN individually has a "better" route.
+  void reinforce_merger_overlap() {
+    for (const auto& [a, b] : merger_pairs_) {
+      const auto cone_a = customer_cone_members(a);
+      const auto cone_b = customer_cone_members(b);
+      std::vector<Asn> candidates;
+      for (Asn member : cone_a) {
+        if (cone_b.count(member)) continue;
+        if (topo().as_node(member).type != AsType::kStub) continue;
+        candidates.push_back(member);
+      }
+      rng_.shuffle(candidates);
+      const std::size_t adds = std::min<std::size_t>(20, candidates.size());
+      for (std::size_t i = 0; i < adds; ++i) {
+        connect(candidates[i], b, Relationship::kProvider,
+                {.stable = true, .allow_te = false, .partial_allowed = false});
+        overlap_stubs_.insert(candidates[i]);
+      }
+    }
+  }
+
+  std::set<Asn> customer_cone_members(Asn root) const {
+    std::set<Asn> cone{root};
+    std::vector<Asn> queue{root};
+    while (!queue.empty()) {
+      const Asn cur = queue.back();
+      queue.pop_back();
+      for (LinkId lid : out_->topology.as_node(cur).links) {
+        const Link& l = out_->topology.link(lid);
+        if (out_->topology.relationship_from(l, cur) !=
+            Relationship::kCustomer)
+          continue;
+        const Asn next = out_->topology.other_end(l, cur);
+        if (cone.insert(next).second) queue.push_back(next);
+      }
+    }
+    return cone;
+  }
+
+  void assign_policy_flags() {
+    topo().for_each_as([&](const AsNode& node) {
+      AsNode& mut = topo().as_node_mutable(node.asn);
+      const Continent continent =
+          world().continent_of_country(node.home_country);
+      if (rng_.chance(cfg_.domestic_pref_prob * domestic_factor(continent)))
+        mut.prefers_domestic = true;
+      const bool is_transit = node.type == AsType::kSmallIsp ||
+                              node.type == AsType::kLargeIsp ||
+                              node.type == AsType::kTier1;
+      if (is_transit && rng_.chance(cfg_.flat_local_pref_prob))
+        mut.flat_local_pref = true;
+      const bool is_isp = is_transit || node.type == AsType::kEducation;
+      if (is_isp && rng_.chance(cfg_.looking_glass_prob))
+        mut.has_looking_glass = true;
+    });
+    // The testbed never deviates: it is our vantage, not a subject.
+    topo().as_node_mutable(out_->testbed_asn).prefers_domestic = false;
+    topo().as_node_mutable(out_->testbed_asn).flat_local_pref = false;
+  }
+
+  std::vector<Asn> pick_tier1s(Continent continent, int n) {
+    std::vector<Asn> present;
+    for (Asn t : out_->tier1s)
+      if (has_pop_on_continent(t, continent)) present.push_back(t);
+    if (present.empty()) present = out_->tier1s;
+    std::vector<Asn> out;
+    auto idx = rng_.sample_indices(present.size(),
+                                   std::min<std::size_t>(n, present.size()));
+    for (auto i : idx) out.push_back(present[i]);
+    return out;
+  }
+
+  void make_hybrid_pairs() {
+    // Hybrid relationships (§4.1): a pair of ASes whose relationship differs
+    // by interconnection city — peer at one IXP, customer/provider elsewhere.
+    int made = 0;
+    int attempts = 0;
+    while (made < cfg_.hybrid_pair_count && ++attempts < 1000) {
+      const Asn a = rng_.pick(out_->large_isps);
+      const Asn b = rng_.pick(out_->large_isps);
+      if (a == b || !topo().links_between(a, b).empty()) continue;
+      const auto& pa = topo().as_node(a).pops;
+      const auto& pb = topo().as_node(b).pops;
+      if (pa.size() < 2 || pb.empty()) continue;
+
+      Link peer_link;
+      peer_link.a = a;
+      peer_link.b = b;
+      peer_link.rel_of_b_from_a = Relationship::kPeer;
+      peer_link.city = pa[0].city;
+      peer_link.igp_cost_a = igp_cost(a, peer_link.city);
+      peer_link.igp_cost_b = igp_cost(b, peer_link.city);
+      topo().add_link(peer_link);
+
+      Link transit_link;
+      transit_link.a = a;
+      transit_link.b = b;
+      transit_link.rel_of_b_from_a = Relationship::kCustomer;  // b buys from a.
+      // Hybrid transit between comparable ISPs is regional by nature — the
+      // provider serves only part of the table (Giotsas et al. lump hybrid
+      // and partial-transit relationships for the same reason).
+      transit_link.partial_transit = true;
+      transit_link.city = pa[1].city;
+      transit_link.igp_cost_a = igp_cost(a, transit_link.city);
+      transit_link.igp_cost_b = igp_cost(b, transit_link.city);
+      topo().add_link(transit_link);
+
+      out_->hybrid_pairs.emplace_back(a, b);
+      ++made;
+    }
+  }
+
+  // -------------------------------------------------------------- prefixes
+
+  void make_prefixes() {
+    topo().for_each_as([&](const AsNode& node) {
+      AsNode& mut = topo().as_node_mutable(node.asn);
+      switch (node.type) {
+        case AsType::kStub:
+          add_prefix(mut, 22);
+          break;
+        case AsType::kSmallIsp:
+        case AsType::kEducation:
+          add_prefix(mut, 21);
+          break;
+        case AsType::kLargeIsp:
+        case AsType::kTier1:
+          add_prefix(mut, 20);
+          if (rng_.chance(0.4)) add_prefix(mut, 21);
+          break;
+        case AsType::kCable:
+          add_prefix(mut, 24);
+          break;
+        case AsType::kContent: {
+          const int n = rng_.uniform_int(cfg_.min_prefixes_per_content,
+                                         cfg_.max_prefixes_per_content);
+          for (int i = 0; i < n; ++i) add_prefix(mut, 22);
+          break;
+        }
+        case AsType::kTestbed:
+          break;  // Experiment prefixes are allocated separately.
+      }
+    });
+
+    // Selective (prefix-specific) announcement at content origins: the
+    // premium prefix is announced only over one transit link (§4.3's
+    // "forwarding prefixes hosting enterprise-class services to a more
+    // expensive provider").
+    for (Asn cp : content_primary_) {
+      if (!rng_.chance(cfg_.content_selective_prob)) continue;
+      AsNode& node = topo().as_node_mutable(cp);
+      std::vector<LinkId> transit_links;
+      for (LinkId lid : node.links)
+        if (topo().relationship_from(topo().link(lid), cp) ==
+            Relationship::kProvider)
+          transit_links.push_back(lid);
+      if (transit_links.empty() || node.prefixes.empty()) continue;
+      OriginatedPrefix& premium = node.prefixes.back();
+      premium.announce_only_on = {rng_.pick(transit_links)};
+      premium.selective = true;
+    }
+
+    // Inbound traffic engineering: some multi-homed origins prepend their
+    // ASN on one transit link to steer traffic toward the other. This is
+    // invisible to the GR model and also perturbs which origin edges the
+    // route collectors observe per prefix (the PSP criteria's blind spot).
+    topo().for_each_as([&](const AsNode& node) {
+      AsNode& mut = topo().as_node_mutable(node.asn);
+      std::vector<LinkId> transit;
+      for (LinkId lid : node.links)
+        if (topo().relationship_from(topo().link(lid), node.asn) ==
+            Relationship::kProvider)
+          transit.push_back(lid);
+      if (transit.size() < 2) return;
+      for (auto& op : mut.prefixes) {
+        if (!op.announce_only_on.empty()) continue;
+        if (!rng_.chance(cfg_.prepend_prob)) continue;
+        op.prepend_on = {{rng_.pick(transit), rng_.uniform_int(1, 3)}};
+      }
+    });
+
+    // Testbed experiment prefixes (not announced by default).
+    out_->testbed_prefixes.push_back(plan_.allocate(24));
+    out_->testbed_prefixes.push_back(plan_.allocate(24));
+    for (const auto& p : out_->testbed_prefixes)
+      out_->geo->register_prefix(
+          p, topo().as_node(out_->testbed_asn).pops[0].city);
+  }
+
+  void add_prefix(AsNode& node, int length) {
+    OriginatedPrefix op;
+    op.prefix = plan_.allocate(length);
+    out_->geo->register_prefix(op.prefix, node.pops[0].city);
+    node.prefixes.push_back(op);
+  }
+
+  // ------------------------------------------------- content catalog/caches
+
+  void make_caches_and_catalog() {
+    int hostname_counter = 0;
+    for (std::size_t i = 0; i < content_primary_.size(); ++i) {
+      const Asn origin = content_primary_[i];
+      AsNode& node = topo().as_node_mutable(origin);
+      ContentService service;
+      service.org_name = "content-org" + std::to_string(node.org);
+      service.origin_asn = origin;
+      service.wide_deployment = int(i) < cfg_.wide_deployment_orgs;
+
+      const int hostnames = rng_.uniform_int(2, 3);
+      for (int h = 0; h < hostnames; ++h) {
+        ContentHostname ch;
+        ch.name = "svc" + std::to_string(hostname_counter++) + ".org" +
+                  std::to_string(node.org) + ".example";
+        // Premium hostnames resolve into the selective prefix when present
+        // and are served from the origin network only.
+        const auto& prefixes = node.prefixes;
+        IRP_CHECK(!prefixes.empty(), "content AS without prefixes");
+        if (h == 0 && prefixes.back().selective) {
+          ch.origin_prefix = prefixes.back().prefix;
+          ch.premium = true;
+        } else if (h == 0 && service.wide_deployment) {
+          // Wide deployers also run origin-only enterprise services.
+          ch.origin_prefix = prefixes.front().prefix;
+          ch.premium = true;
+        } else {
+          ch.origin_prefix = prefixes[rng_.index(prefixes.size())].prefix;
+        }
+        service.hostnames.push_back(std::move(ch));
+      }
+
+      // Off-net caches inside eyeball networks.
+      const double host_prob = service.wide_deployment
+                                   ? cfg_.wide_cache_host_prob
+                                   : cfg_.light_cache_host_prob;
+      auto consider_host = [&](Asn host) {
+        // Well-connected multihomed eyeballs attract cache deployments.
+        const double p =
+            overlap_stubs_.count(host) ? std::min(1.0, host_prob * 5) : host_prob;
+        if (!rng_.chance(p)) return;
+        ContentCache cache;
+        cache.host_asn = host;
+        cache.prefix = plan_.allocate(24);
+        AsNode& host_node = topo().as_node_mutable(host);
+        OriginatedPrefix op;
+        op.prefix = cache.prefix;
+        host_node.prefixes.push_back(op);
+        out_->geo->register_prefix(cache.prefix, host_node.pops[0].city);
+        service.caches.push_back(cache);
+      };
+      for (Asn host : out_->small_isps) consider_host(host);
+      for (Asn host : out_->stubs) consider_host(host);
+
+      out_->content.add(std::move(service));
+    }
+  }
+
+  // -------------------------------------------------------------- registries
+
+  void make_registries() {
+    // whois + DNS SOA. Sibling organizations usually share an e-mail domain;
+    // some use distinct vanity domains glued together by a shared SOA (the
+    // dish.com/dishaccess.tv pattern); some hide behind webmail providers.
+    std::map<OrgId, std::vector<Asn>> orgs;
+    topo().for_each_as([&](const AsNode& node) {
+      orgs[node.org].push_back(node.asn);
+    });
+
+    for (const auto& [org, members] : orgs) {
+      const std::string base = "org" + std::to_string(org);
+      std::string primary_domain = base + ".net";
+      bool vanity_split = false;
+      if (members.size() > 1 && rng_.chance(0.4)) vanity_split = true;
+      const bool popular = rng_.chance(cfg_.popular_email_prob);
+      const bool rir_hosted = !popular && rng_.chance(cfg_.rir_email_prob);
+
+      out_->soa.add(primary_domain, base + "-dns.net");
+      const std::string vanity_domain = base + "-tv.example";
+      if (vanity_split) out_->soa.add(vanity_domain, base + "-dns.net");
+
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const AsNode& node = topo().as_node(members[m]);
+        WhoisRecord rec;
+        rec.asn = node.asn;
+        rec.org_name = base + " Networks";
+        const Continent continent =
+            world().continent_of_country(node.home_country);
+        if (popular)
+          rec.email_domain = rng_.chance(0.5) ? "mail-a.example"
+                                              : "mail-b.example";
+        else if (rir_hosted)
+          rec.email_domain =
+              "rir-" + to_lower(continent_code(continent)) + ".example";
+        else if (vanity_split && m % 2 == 1)
+          rec.email_domain = vanity_domain;
+        else
+          rec.email_domain = primary_domain;
+        rec.country_code = world().country(node.home_country).code;
+        rec.rir = "RIR-" + std::string(continent_code(continent));
+        out_->whois.add(std::move(rec));
+      }
+    }
+
+    // TeleGeography-style cable registry (incomplete on purpose), plus a
+    // couple of consortium cables without a dedicated ASN.
+    for (std::size_t i = 0; i < out_->cable_asns.size(); ++i) {
+      CableEntry entry;
+      const auto& cable = cable_sides_[i];
+      entry.cable_name = "cable-" + std::to_string(i) + " (" +
+                         std::string(continent_code(cable.side_a)) + "<->" +
+                         std::string(continent_code(cable.side_b)) + ")";
+      entry.operator_asn =
+          rng_.chance(cfg_.cable_registry_coverage) ? cable.asn : 0;
+      out_->cable_registry.add(std::move(entry));
+    }
+    out_->cable_registry.add({"consortium-cable-a (jointly owned)", 0});
+    out_->cable_registry.add({"consortium-cable-b (jointly owned)", 0});
+
+    // Neighbor-history: last epoch each adjacency was publicly visible.
+    topo().for_each_link([&](const Link& l) {
+      const int last_alive =
+          std::min(l.died_epoch - 1, out_->measurement_epoch);
+      if (last_alive >= l.born_epoch)
+        out_->neighbor_history.record(l.a, l.b, last_alive);
+    });
+  }
+
+  void pick_collectors() {
+    std::set<Asn> peers;
+    for (Asn t : out_->tier1s) peers.insert(t);
+    for (Asn a : out_->large_isps)
+      if (rng_.chance(cfg_.collector_large_prob)) peers.insert(a);
+    for (Asn a : out_->education)
+      if (rng_.chance(cfg_.collector_education_prob)) peers.insert(a);
+    for (Asn a : out_->small_isps)
+      if (rng_.chance(cfg_.collector_small_prob)) peers.insert(a);
+    // The testbed muxes see the testbed's announcements; at least one
+    // should feed the collectors so active experiments are observable.
+    peers.insert(out_->testbed_muxes[0]);
+    out_->collector_peers.assign(peers.begin(), peers.end());
+  }
+
+  std::string to_lower(std::string_view s) {
+    std::string out{s};
+    for (auto& c : out)
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+  }
+
+  struct CableSides {
+    Asn asn;
+    Continent side_a;
+    Continent side_b;
+  };
+
+  const GeneratorConfig& cfg_;
+  Rng rng_;
+  std::unique_ptr<GeneratedInternet> out_;
+  AddressPlan plan_;
+
+  OrgId org_counter_ = 1;
+  std::vector<std::vector<Asn>> large_by_continent_;
+  std::vector<std::vector<Asn>> edu_by_continent_;
+  std::vector<std::vector<Asn>> small_by_country_;
+  std::vector<std::vector<Asn>> stubs_by_country_;
+  std::vector<Asn> content_primary_;
+  std::vector<std::pair<Asn, Asn>> merger_pairs_;
+  std::set<Asn> overlap_stubs_;
+  std::vector<CableSides> cable_sides_;
+  LinkId stale_content_link_ = kInvalidLink;
+};
+
+}  // namespace
+
+std::unique_ptr<GeneratedInternet> generate_internet(
+    const GeneratorConfig& config) {
+  return Builder{config}.build();
+}
+
+}  // namespace irp

@@ -1,0 +1,148 @@
+// Synthetic Internet generator.
+//
+// Produces a hierarchical, geographically embedded AS topology together with
+// every registry the study pipeline consumes. The structure mirrors the real
+// Internet's shape at small scale: a Tier-1 clique, continental transit ISPs,
+// national access ISPs, a large stub edge with rich regional peering,
+// multinational content providers with off-net caches, research & education
+// backbones, undersea-cable operator ASes, and a PEERING-style testbed AS.
+//
+// The generator also injects — with tunable probabilities — every policy
+// phenomenon the paper investigates: sibling organizations, hybrid per-city
+// relationships, partial transit, selective prefix announcement, per-link
+// local-pref traffic engineering, flat-preference (shortest-path) ASes,
+// domestic-path preference, and link birth/death across snapshots (stale
+// links).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/geolocation.hpp"
+#include "geo/world.hpp"
+#include "net/address_plan.hpp"
+#include "topo/registry.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace irp {
+
+/// All dials of the synthetic Internet. Defaults produce ~800 ASes and are
+/// tuned so the study pipeline reproduces the paper's qualitative shape.
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+  WorldConfig world;
+
+  /// Number of monthly topology snapshots (epochs 0..n-1); measurements run
+  /// at the last epoch, matching the paper's five aggregated CAIDA months.
+  int num_snapshots = 5;
+
+  // -- population ----------------------------------------------------------
+  int tier1_count = 12;
+  int large_isps_per_continent = 8;
+  int education_per_continent = 2;
+  int small_isps_per_country = 2;
+  int stubs_per_country = 12;
+  /// Edge-population multiplier for the first North-American country (a
+  /// US-like giant): most NA eyeballs, ISPs, and hence model paths stay
+  /// inside one country, reproducing Table 3's low NA row.
+  int na_primary_country_factor = 3;
+  int content_orgs = 14;
+  int cable_count = 8;
+  int testbed_mux_count = 7;
+
+  // -- connectivity --------------------------------------------------------
+  double large_isp_same_continent_peer_prob = 0.25;
+  double large_isp_cross_continent_peer_prob = 0.03;
+  double small_isp_same_country_peer_prob = 0.40;
+  double stub_multihome_prob = 0.35;
+  double stub_ixp_peer_prob = 0.05;
+  double content_large_peer_prob = 0.45;
+  double content_small_peer_prob = 0.05;
+  double education_mesh_prob = 0.55;
+  int cable_attach_per_side_min = 2;
+  int cable_attach_per_side_max = 3;
+
+  // -- policy deviations (what the paper hunts for) -------------------------
+  double sibling_org_prob = 0.35;        ///< Large-ISP org owns 2-3 ASNs.
+  double content_sibling_prob = 0.35;    ///< Content org owns 2 ASNs.
+  int hybrid_pair_count = 14;            ///< Pairs with per-city relationships.
+  double partial_transit_prob = 0.06;    ///< Per c2p link.
+  double te_override_prob = 0.075;       ///< Per link side: lp delta.
+  double flat_local_pref_prob = 0.08;    ///< Per transit AS.
+  double domestic_pref_prob = 0.5;       ///< Per AS.
+  double content_selective_prob = 0.5;   ///< Content origin has premium prefix.
+  double prepend_prob = 0.15;            ///< Per prefix: per-link prepending.
+  int cable_lp_delta = 75;               ///< Customers up-pref cable transit.
+
+  // -- evolution (stale links) ----------------------------------------------
+  double link_death_prob = 0.07;         ///< Redundant link dies mid-study.
+  double link_birth_prob = 0.05;         ///< Redundant link born mid-study.
+
+  // -- content deployment ----------------------------------------------------
+  int min_prefixes_per_content = 3;
+  int max_prefixes_per_content = 6;
+  int wide_deployment_orgs = 2;          ///< Akamai/Netflix-like org count.
+  double wide_cache_host_prob = 0.16;    ///< Per eyeball AS.
+  double light_cache_host_prob = 0.02;
+
+  // -- registries ------------------------------------------------------------
+  double geoloc_error_rate = 0.03;
+  double popular_email_prob = 0.06;      ///< whois e-mail at a mail provider.
+  double rir_email_prob = 0.02;          ///< whois e-mail at the RIR.
+  double looking_glass_prob = 0.35;      ///< ISP hosts a looking glass.
+  double cable_registry_coverage = 0.9;  ///< Cable list completeness.
+
+  // -- collectors --------------------------------------------------------------
+  double collector_large_prob = 0.5;
+  double collector_education_prob = 0.7;
+  double collector_small_prob = 0.05;
+};
+
+/// Everything the generator produces. Heap-allocated and pinned: internal
+/// components hold pointers to each other (e.g. the geolocation database
+/// points at the world).
+struct GeneratedInternet {
+  GeneratorConfig config;
+  World world;
+  Topology topology;
+  WhoisDb whois;
+  DnsSoaDb soa;
+  CableRegistry cable_registry;
+  ContentCatalog content;
+  NeighborHistoryDb neighbor_history;
+  std::unique_ptr<GeoDatabase> geo;
+
+  // Ground-truth rosters (used by generation-time consumers and tests; the
+  // analysis pipeline itself only sees registries, feeds and traceroutes).
+  std::vector<Asn> tier1s;
+  std::vector<Asn> large_isps;
+  std::vector<Asn> small_isps;
+  std::vector<Asn> stubs;
+  std::vector<Asn> education;
+  std::vector<Asn> content_asns;
+  std::vector<Asn> cable_asns;
+  std::vector<std::pair<Asn, Asn>> hybrid_pairs;
+
+  // PEERING-style testbed.
+  Asn testbed_asn = 0;
+  std::vector<Asn> testbed_muxes;        ///< University provider ASes.
+  std::vector<LinkId> testbed_mux_links; ///< Testbed-to-mux links, per site.
+  std::vector<Ipv4Prefix> testbed_prefixes;
+
+  /// ASes that export their tables to route collectors (RouteViews/RIS).
+  std::vector<Asn> collector_peers;
+
+  /// The epoch at which measurements run (= num_snapshots - 1).
+  int measurement_epoch = 0;
+
+  GeneratedInternet() = default;
+  GeneratedInternet(const GeneratedInternet&) = delete;
+  GeneratedInternet& operator=(const GeneratedInternet&) = delete;
+};
+
+/// Generates a synthetic Internet; deterministic in `config.seed`.
+std::unique_ptr<GeneratedInternet> generate_internet(
+    const GeneratorConfig& config);
+
+}  // namespace irp

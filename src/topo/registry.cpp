@@ -1,0 +1,77 @@
+#include "topo/registry.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace irp {
+
+void WhoisDb::add(WhoisRecord record) {
+  IRP_CHECK(record.asn != 0, "whois record needs an ASN");
+  records_[record.asn] = std::move(record);
+}
+
+const WhoisRecord& WhoisDb::record(Asn asn) const {
+  auto it = records_.find(asn);
+  IRP_CHECK(it != records_.end(), "no whois record for ASN");
+  return it->second;
+}
+
+void DnsSoaDb::add(const std::string& domain, const std::string& soa_domain) {
+  soa_[domain] = soa_domain;
+}
+
+std::string DnsSoaDb::soa_of(const std::string& domain) const {
+  auto it = soa_.find(domain);
+  return it == soa_.end() ? domain : it->second;
+}
+
+std::vector<Asn> CableRegistry::operator_asns() const {
+  std::vector<Asn> out;
+  for (const auto& e : entries_)
+    if (e.operator_asn != 0) out.push_back(e.operator_asn);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool CableRegistry::is_cable_operator(Asn asn) const {
+  if (asn == 0) return false;
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [asn](const CableEntry& e) { return e.operator_asn == asn; });
+}
+
+void NeighborHistoryDb::record(Asn a, Asn b, int epoch) {
+  auto& slot = last_seen_[key(a, b)];
+  slot = std::max(slot, epoch);
+}
+
+std::optional<int> NeighborHistoryDb::last_seen(Asn a, Asn b) const {
+  auto it = last_seen_.find(key(a, b));
+  if (it == last_seen_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool NeighborHistoryDb::is_stale(Asn a, Asn b, int current_epoch) const {
+  const auto seen = last_seen(a, b);
+  return seen.has_value() && *seen < current_epoch;
+}
+
+std::size_t ContentCatalog::num_hostnames() const {
+  std::size_t n = 0;
+  for (const auto& s : services_) n += s.hostnames.size();
+  return n;
+}
+
+const ContentService* ContentCatalog::service_for(
+    const std::string& hostname) const {
+  for (const auto& s : services_) {
+    const bool found = std::any_of(
+        s.hostnames.begin(), s.hostnames.end(),
+        [&](const ContentHostname& h) { return h.name == hostname; });
+    if (found) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace irp

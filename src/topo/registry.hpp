@@ -1,0 +1,151 @@
+// Public registries observable by the analyst: whois, DNS SOA, cable list,
+// and a neighbor-history service.
+//
+// The analyses never read the ground-truth topology directly — they consume
+// these registries (plus BGP feeds and traceroutes), exactly like the paper:
+//   * whois e-mail domains + DNS SOA records drive sibling inference (§4.2);
+//   * whois registration countries drive the domestic-path analysis (§6),
+//     with the paper's stated limitation that a multinational AS still shows
+//     a single registration country;
+//   * the TeleGeography-style cable list identifies undersea-cable ASes (§6);
+//   * the RIPE-stat-style neighbor history exposes when a link was last seen
+//     (used to identify stale links, §5).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/types.hpp"
+
+namespace irp {
+
+/// One whois record per AS.
+struct WhoisRecord {
+  Asn asn = 0;
+  std::string org_name;       ///< e.g. "org42 Networks".
+  std::string email_domain;   ///< e.g. "org42.net" or "hotmail.example".
+  std::string country_code;   ///< Single registration country code.
+  std::string rir;            ///< Registry, e.g. "RIR-EU".
+};
+
+/// whois database keyed by ASN.
+class WhoisDb {
+ public:
+  void add(WhoisRecord record);
+  const WhoisRecord& record(Asn asn) const;
+  bool has(Asn asn) const { return records_.count(asn) > 0; }
+  std::size_t size() const { return records_.size(); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [asn, rec] : records_) fn(rec);
+  }
+
+ private:
+  std::map<Asn, WhoisRecord> records_;
+};
+
+/// DNS SOA database: maps a domain to its authoritative (SOA) domain, so
+/// that different vanity domains of one organization can be grouped
+/// (the paper's dish.com / dishaccess.tv example).
+class DnsSoaDb {
+ public:
+  void add(const std::string& domain, const std::string& soa_domain);
+
+  /// SOA domain for `domain`; identity if unknown.
+  std::string soa_of(const std::string& domain) const;
+
+ private:
+  std::map<std::string, std::string> soa_;
+};
+
+/// TeleGeography-style list of undersea cables and their operator ASNs.
+struct CableEntry {
+  std::string cable_name;   ///< e.g. "cable-3 (EU<->NA)".
+  Asn operator_asn = 0;     ///< 0 when the cable is consortium-owned and has
+                            ///< no dedicated ASN (not detectable; §6 notes
+                            ///< some cables are jointly owned by large ISPs).
+};
+
+/// Cable registry; `operator_asns()` is what the analysis can identify.
+class CableRegistry {
+ public:
+  void add(CableEntry entry) { entries_.push_back(std::move(entry)); }
+  const std::vector<CableEntry>& entries() const { return entries_; }
+
+  /// All dedicated cable-operator ASNs listed in the registry.
+  std::vector<Asn> operator_asns() const;
+
+  bool is_cable_operator(Asn asn) const;
+
+ private:
+  std::vector<CableEntry> entries_;
+};
+
+/// RIPE-stat-style neighbor history: for each unordered AS pair, the last
+/// epoch at which the adjacency was observed in public BGP data.
+class NeighborHistoryDb {
+ public:
+  void record(Asn a, Asn b, int epoch);
+
+  /// Last epoch the pair was adjacent; nullopt if never seen.
+  std::optional<int> last_seen(Asn a, Asn b) const;
+
+  /// True if the pair was once adjacent but not seen at `current_epoch`.
+  bool is_stale(Asn a, Asn b, int current_epoch) const;
+
+ private:
+  static std::pair<Asn, Asn> key(Asn a, Asn b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+  std::map<std::pair<Asn, Asn>, int> last_seen_;
+};
+
+/// A hostname of a content service, pinned to one of the origin's prefixes.
+struct ContentHostname {
+  std::string name;           ///< e.g. "video1.org7.example".
+  Ipv4Prefix origin_prefix;   ///< Prefix answering when no cache is closer.
+  /// Premium/enterprise services are served from the origin network only,
+  /// never from off-net caches (these are the prefixes subject to
+  /// selective announcement, §4.3).
+  bool premium = false;
+};
+
+/// An off-net cache: content served from inside another (eyeball) AS.
+struct ContentCache {
+  Asn host_asn = 0;
+  Ipv4Prefix prefix;
+};
+
+/// A content service: one organization, its origin AS, and its hostnames
+/// (the study's "34 DNS names representing 14 large content providers").
+struct ContentService {
+  std::string org_name;             ///< e.g. "cdn-akamai-like".
+  Asn origin_asn = 0;               ///< The provider's own network.
+  std::vector<ContentHostname> hostnames;
+  /// Off-net caches. Content served from inside eyeball ISPs makes the set
+  /// of destination ASes much larger than the set of providers (§3.1).
+  std::vector<ContentCache> caches;
+  /// True for CDN-style services with wide off-net deployment.
+  bool wide_deployment = false;
+};
+
+/// Catalog of the content providers targeted by the passive campaign.
+class ContentCatalog {
+ public:
+  void add(ContentService service) { services_.push_back(std::move(service)); }
+  const std::vector<ContentService>& services() const { return services_; }
+
+  /// Total hostname count across services.
+  std::size_t num_hostnames() const;
+
+  /// The service owning `hostname`; nullptr if unknown.
+  const ContentService* service_for(const std::string& hostname) const;
+
+ private:
+  std::vector<ContentService> services_;
+};
+
+}  // namespace irp

@@ -1,0 +1,185 @@
+#include "topo/serialize.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace irp {
+namespace {
+
+constexpr std::string_view kHeader = "irp-topology v1";
+
+template <typename T>
+T parse_number(std::string_view field, std::string_view line) {
+  T value{};
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  IRP_CHECK(ec == std::errc{} && ptr == field.data() + field.size(),
+            "bad number '" + std::string(field) + "' in: " + std::string(line));
+  return value;
+}
+
+std::string_view type_code(AsType t) {
+  switch (t) {
+    case AsType::kStub:      return "stub";
+    case AsType::kSmallIsp:  return "small";
+    case AsType::kLargeIsp:  return "large";
+    case AsType::kTier1:     return "tier1";
+    case AsType::kContent:   return "content";
+    case AsType::kCable:     return "cable";
+    case AsType::kEducation: return "edu";
+    case AsType::kTestbed:   return "testbed";
+  }
+  IRP_UNREACHABLE("unknown AS type");
+}
+
+AsType parse_type(std::string_view code, std::string_view line) {
+  if (code == "stub") return AsType::kStub;
+  if (code == "small") return AsType::kSmallIsp;
+  if (code == "large") return AsType::kLargeIsp;
+  if (code == "tier1") return AsType::kTier1;
+  if (code == "content") return AsType::kContent;
+  if (code == "cable") return AsType::kCable;
+  if (code == "edu") return AsType::kEducation;
+  if (code == "testbed") return AsType::kTestbed;
+  IRP_UNREACHABLE("unknown AS type in: " + std::string(line));
+}
+
+std::string_view rel_code(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return "c";
+    case Relationship::kPeer:     return "p";
+    case Relationship::kProvider: return "v";
+    case Relationship::kSibling:  return "s";
+  }
+  IRP_UNREACHABLE("unknown relationship");
+}
+
+Relationship parse_rel(std::string_view code, std::string_view line) {
+  if (code == "c") return Relationship::kCustomer;
+  if (code == "p") return Relationship::kPeer;
+  if (code == "v") return Relationship::kProvider;
+  if (code == "s") return Relationship::kSibling;
+  IRP_UNREACHABLE("unknown relationship in: " + std::string(line));
+}
+
+}  // namespace
+
+std::string serialize_topology(const Topology& topo) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  topo.for_each_as([&](const AsNode& node) {
+    out << "as " << node.asn << ' ' << type_code(node.type) << ' ' << node.org
+        << ' ' << node.home_country << ' ' << (node.prefers_domestic ? 1 : 0)
+        << ' ' << (node.flat_local_pref ? 1 : 0) << ' '
+        << (node.has_looking_glass ? 1 : 0) << ' ' << node.born_epoch << "\n";
+    for (const auto& pop : node.pops)
+      out << "pop " << node.asn << ' ' << pop.city << ' '
+          << pop.router_prefix.to_string() << "\n";
+    for (const auto& op : node.prefixes) {
+      out << "pfx " << node.asn << ' ' << op.prefix.to_string() << ' '
+          << (op.selective ? 1 : 0) << " only=";
+      for (std::size_t i = 0; i < op.announce_only_on.size(); ++i)
+        out << (i ? "," : "") << op.announce_only_on[i];
+      out << " prepend=";
+      for (std::size_t i = 0; i < op.prepend_on.size(); ++i)
+        out << (i ? "," : "") << op.prepend_on[i].first << ':'
+            << op.prepend_on[i].second;
+      out << "\n";
+    }
+  });
+  topo.for_each_link([&](const Link& l) {
+    out << "link " << l.a << ' ' << l.b << ' ' << rel_code(l.rel_of_b_from_a)
+        << ' ' << l.city << ' ' << l.igp_cost_a << ' ' << l.igp_cost_b << ' '
+        << l.lp_delta_a << ' ' << l.lp_delta_b << ' '
+        << (l.partial_transit ? 1 : 0) << ' ' << l.born_epoch << ' '
+        << l.died_epoch << "\n";
+  });
+  return out.str();
+}
+
+Topology deserialize_topology(std::string_view text) {
+  Topology topo;
+  const auto lines = split(text, '\n');
+  IRP_CHECK(!lines.empty() && trim(lines[0]) == kHeader,
+            "missing or wrong topology header");
+
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    const std::string_view line = trim(lines[li]);
+    if (line.empty() || line.front() == '#') continue;
+    const auto f = split(line, ' ');
+    IRP_CHECK(!f.empty(), "empty record");
+
+    if (f[0] == "as") {
+      IRP_CHECK(f.size() == 9, "bad 'as' record: " + std::string(line));
+      AsNode node;
+      const Asn asn = parse_number<Asn>(f[1], line);
+      node.type = parse_type(f[2], line);
+      node.org = parse_number<OrgId>(f[3], line);
+      node.home_country = parse_number<CountryId>(f[4], line);
+      node.prefers_domestic = parse_number<int>(f[5], line) != 0;
+      node.flat_local_pref = parse_number<int>(f[6], line) != 0;
+      node.has_looking_glass = parse_number<int>(f[7], line) != 0;
+      node.born_epoch = parse_number<int>(f[8], line);
+      const Asn assigned = topo.add_as(std::move(node));
+      IRP_CHECK(assigned == asn,
+                "AS records must appear in dense ASN order: " +
+                    std::string(line));
+    } else if (f[0] == "pop") {
+      IRP_CHECK(f.size() == 4, "bad 'pop' record: " + std::string(line));
+      const Asn asn = parse_number<Asn>(f[1], line);
+      PointOfPresence pop;
+      pop.city = parse_number<CityId>(f[2], line);
+      const auto prefix = Ipv4Prefix::parse(f[3]);
+      IRP_CHECK(prefix.has_value(), "bad prefix in: " + std::string(line));
+      pop.router_prefix = *prefix;
+      topo.as_node_mutable(asn).pops.push_back(pop);
+    } else if (f[0] == "pfx") {
+      IRP_CHECK(f.size() == 6, "bad 'pfx' record: " + std::string(line));
+      const Asn asn = parse_number<Asn>(f[1], line);
+      OriginatedPrefix op;
+      const auto prefix = Ipv4Prefix::parse(f[2]);
+      IRP_CHECK(prefix.has_value(), "bad prefix in: " + std::string(line));
+      op.prefix = *prefix;
+      op.selective = parse_number<int>(f[3], line) != 0;
+      IRP_CHECK(starts_with(f[4], "only="), "bad only= in: " + std::string(line));
+      const std::string_view only = std::string_view(f[4]).substr(5);
+      if (!only.empty())
+        for (const auto& item : split(only, ','))
+          op.announce_only_on.push_back(parse_number<LinkId>(item, line));
+      IRP_CHECK(starts_with(f[5], "prepend="),
+                "bad prepend= in: " + std::string(line));
+      const std::string_view pre = std::string_view(f[5]).substr(8);
+      if (!pre.empty())
+        for (const auto& item : split(pre, ',')) {
+          const auto kv = split(item, ':');
+          IRP_CHECK(kv.size() == 2, "bad prepend entry: " + std::string(line));
+          op.prepend_on.emplace_back(parse_number<LinkId>(kv[0], line),
+                                     parse_number<int>(kv[1], line));
+        }
+      topo.as_node_mutable(asn).prefixes.push_back(std::move(op));
+    } else if (f[0] == "link") {
+      IRP_CHECK(f.size() == 12, "bad 'link' record: " + std::string(line));
+      Link l;
+      l.a = parse_number<Asn>(f[1], line);
+      l.b = parse_number<Asn>(f[2], line);
+      l.rel_of_b_from_a = parse_rel(f[3], line);
+      l.city = parse_number<CityId>(f[4], line);
+      l.igp_cost_a = parse_number<int>(f[5], line);
+      l.igp_cost_b = parse_number<int>(f[6], line);
+      l.lp_delta_a = parse_number<int>(f[7], line);
+      l.lp_delta_b = parse_number<int>(f[8], line);
+      l.partial_transit = parse_number<int>(f[9], line) != 0;
+      l.born_epoch = parse_number<int>(f[10], line);
+      l.died_epoch = parse_number<int>(f[11], line);
+      topo.add_link(l);
+    } else {
+      IRP_UNREACHABLE("unknown record type: " + std::string(line));
+    }
+  }
+  return topo;
+}
+
+}  // namespace irp

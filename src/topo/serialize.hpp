@@ -1,0 +1,27 @@
+// Ground-truth topology serialization.
+//
+// A line-oriented text format that round-trips the complete routing-relevant
+// state of a Topology: ASes (type, organization, country, policy flags,
+// PoPs, originated prefixes with export policies) and links (relationship,
+// city, IGP costs, local-pref deltas, partial transit, epoch bounds).
+//
+// Use cases: checkpointing generated Internets, hand-authoring small
+// scenarios, and diffing two topologies. The format is versioned and parsing
+// is strict (CheckError on malformed input).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "topo/topology.hpp"
+
+namespace irp {
+
+/// Serializes the topology (stable, diff-friendly ordering).
+std::string serialize_topology(const Topology& topo);
+
+/// Parses a topology produced by serialize_topology.
+/// Throws CheckError on malformed input.
+Topology deserialize_topology(std::string_view text);
+
+}  // namespace irp

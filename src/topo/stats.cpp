@@ -1,0 +1,97 @@
+#include "topo/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace irp {
+
+TopologyStats compute_topology_stats(const Topology& topo, int epoch,
+                                     std::size_t top_cone_count) {
+  TopologyStats stats;
+  stats.ases = topo.num_ases();
+
+  std::vector<std::size_t> degree(topo.num_ases() + 1, 0);
+  topo.for_each_link([&](const Link& l) {
+    if (!topo.link_alive(l, epoch)) return;
+    ++stats.links;
+    switch (l.rel_of_b_from_a) {
+      case Relationship::kPeer:     ++stats.p2p_links; break;
+      case Relationship::kSibling:  ++stats.sibling_links; break;
+      case Relationship::kCustomer:
+      case Relationship::kProvider: ++stats.c2p_links; break;
+    }
+    ++degree[l.a];
+    ++degree[l.b];
+  });
+
+  std::size_t degree_sum = 0;
+  std::size_t stubs = 0;
+  std::vector<std::size_t> cones;
+  topo.for_each_as([&](const AsNode& node) {
+    const std::size_t d = degree[node.asn];
+    degree_sum += d;
+    stats.max_degree = std::max(stats.max_degree, d);
+    ++stats.degree_histogram[d];
+    bool has_customer = false;
+    for (LinkId lid : node.links) {
+      const Link& l = topo.link(lid);
+      if (!topo.link_alive(l, epoch)) continue;
+      if (topo.relationship_from(l, node.asn) == Relationship::kCustomer)
+        has_customer = true;
+    }
+    if (!has_customer) ++stubs;
+    cones.push_back(topo.customer_cone_size(node.asn, epoch));
+  });
+  stats.avg_degree =
+      stats.ases == 0 ? 0.0 : double(degree_sum) / double(stats.ases);
+  stats.stub_share = stats.ases == 0 ? 0.0 : double(stubs) / double(stats.ases);
+  std::sort(cones.rbegin(), cones.rend());
+  cones.resize(std::min(cones.size(), top_cone_count));
+  stats.top_cones = std::move(cones);
+
+  // Hierarchy depth: BFS upward (to providers) from every stub until an AS
+  // without providers is reached.
+  std::size_t depth_sum = 0;
+  std::size_t depth_count = 0;
+  topo.for_each_as([&](const AsNode& node) {
+    bool is_stub = true;
+    for (LinkId lid : node.links) {
+      const Link& l = topo.link(lid);
+      if (topo.link_alive(l, epoch) &&
+          topo.relationship_from(l, node.asn) == Relationship::kCustomer)
+        is_stub = false;
+    }
+    if (!is_stub) return;
+    // BFS to the first provider-free ancestor.
+    std::deque<std::pair<Asn, std::size_t>> queue{{node.asn, 0}};
+    std::vector<bool> seen(topo.num_ases() + 1, false);
+    seen[node.asn] = true;
+    while (!queue.empty()) {
+      const auto [cur, depth] = queue.front();
+      queue.pop_front();
+      bool has_provider = false;
+      for (LinkId lid : topo.links_of(cur)) {
+        const Link& l = topo.link(lid);
+        if (!topo.link_alive(l, epoch)) continue;
+        if (topo.relationship_from(l, cur) != Relationship::kProvider)
+          continue;
+        has_provider = true;
+        const Asn up = topo.other_end(l, cur);
+        if (!seen[up]) {
+          seen[up] = true;
+          queue.push_back({up, depth + 1});
+        }
+      }
+      if (!has_provider) {
+        depth_sum += depth;
+        ++depth_count;
+        break;
+      }
+    }
+  });
+  stats.avg_hierarchy_depth =
+      depth_count == 0 ? 0.0 : double(depth_sum) / double(depth_count);
+  return stats;
+}
+
+}  // namespace irp

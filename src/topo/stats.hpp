@@ -1,0 +1,39 @@
+// Topology statistics: structural summaries of a ground-truth topology.
+//
+// Used to sanity-check that generated Internets have Internet-like shape
+// (heavy-tailed degrees, a dominant Tier-1 core, a thin transit hierarchy)
+// and by the diagnostics benches.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace irp {
+
+/// Aggregate structural statistics at one epoch.
+struct TopologyStats {
+  std::size_t ases = 0;
+  std::size_t links = 0;          ///< Alive at the epoch.
+  std::size_t c2p_links = 0;
+  std::size_t p2p_links = 0;
+  std::size_t sibling_links = 0;
+  double avg_degree = 0.0;
+  std::size_t max_degree = 0;
+  /// Degree distribution: degree -> number of ASes.
+  std::map<std::size_t, std::size_t> degree_histogram;
+  /// Customer-cone sizes of the ASes with the largest cones (descending).
+  std::vector<std::size_t> top_cones;
+  /// Share of ASes with no customers (the stub edge).
+  double stub_share = 0.0;
+  /// Average AS-path-relevant depth: hops from each stub to the nearest
+  /// provider-free AS following provider links (transit hierarchy depth).
+  double avg_hierarchy_depth = 0.0;
+};
+
+/// Computes statistics over links alive at `epoch`.
+TopologyStats compute_topology_stats(const Topology& topo, int epoch,
+                                     std::size_t top_cone_count = 10);
+
+}  // namespace irp

@@ -1,0 +1,86 @@
+#include "topo/topology.hpp"
+
+#include <deque>
+
+namespace irp {
+
+Asn Topology::add_as(AsNode node) {
+  const Asn asn = static_cast<Asn>(nodes_.size() + 1);
+  node.asn = asn;
+  IRP_CHECK(node.links.empty(), "links are added via add_link");
+  orgs_[node.org].push_back(asn);
+  nodes_.push_back(std::move(node));
+  return asn;
+}
+
+LinkId Topology::add_link(Link link) {
+  IRP_CHECK(link.a >= 1 && link.a <= nodes_.size(), "link endpoint a invalid");
+  IRP_CHECK(link.b >= 1 && link.b <= nodes_.size(), "link endpoint b invalid");
+  IRP_CHECK(link.a != link.b, "self-links are not allowed");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  link.id = id;
+  nodes_[link.a - 1].links.push_back(id);
+  nodes_[link.b - 1].links.push_back(id);
+  links_.push_back(link);
+  return id;
+}
+
+Asn Topology::other_end(const Link& link, Asn self) const {
+  IRP_CHECK(link.a == self || link.b == self, "AS not on this link");
+  return link.a == self ? link.b : link.a;
+}
+
+Relationship Topology::relationship_from(const Link& link, Asn self) const {
+  IRP_CHECK(link.a == self || link.b == self, "AS not on this link");
+  return link.a == self ? link.rel_of_b_from_a : reverse(link.rel_of_b_from_a);
+}
+
+int Topology::igp_cost_from(const Link& link, Asn self) const {
+  IRP_CHECK(link.a == self || link.b == self, "AS not on this link");
+  return link.a == self ? link.igp_cost_a : link.igp_cost_b;
+}
+
+int Topology::lp_delta_from(const Link& link, Asn self) const {
+  IRP_CHECK(link.a == self || link.b == self, "AS not on this link");
+  return link.a == self ? link.lp_delta_a : link.lp_delta_b;
+}
+
+std::vector<LinkId> Topology::links_between(Asn a, Asn b) const {
+  std::vector<LinkId> out;
+  for (LinkId id : as_node(a).links) {
+    const Link& l = link(id);
+    if (other_end(l, a) == b) out.push_back(id);
+  }
+  return out;
+}
+
+const std::vector<Asn>& Topology::ases_of_org(OrgId org) const {
+  static const std::vector<Asn> kEmpty;
+  auto it = orgs_.find(org);
+  return it == orgs_.end() ? kEmpty : it->second;
+}
+
+std::size_t Topology::customer_cone_size(Asn asn, int epoch) const {
+  std::vector<bool> seen(nodes_.size() + 1, false);
+  std::deque<Asn> queue{asn};
+  seen[asn] = true;
+  std::size_t count = 0;
+  while (!queue.empty()) {
+    const Asn cur = queue.front();
+    queue.pop_front();
+    ++count;
+    for (LinkId id : as_node(cur).links) {
+      const Link& l = link(id);
+      if (!link_alive(l, epoch)) continue;
+      if (relationship_from(l, cur) != Relationship::kCustomer) continue;
+      const Asn next = other_end(l, cur);
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace irp

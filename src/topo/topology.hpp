@@ -1,0 +1,104 @@
+// The ground-truth AS-level topology container.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "topo/types.hpp"
+#include "util/check.hpp"
+
+namespace irp {
+
+/// Ground-truth Internet topology: ASes, links, and organizations.
+///
+/// ASNs are dense, starting at 1; this keeps per-AS state in flat vectors
+/// throughout the simulator. The topology is append-only during generation
+/// and immutable afterwards.
+class Topology {
+ public:
+  /// Adds an AS and returns its ASN (assigned densely from 1).
+  Asn add_as(AsNode node);
+
+  /// Adds a link between two existing ASes and returns its id. The link is
+  /// registered in both endpoints' adjacency lists.
+  LinkId add_link(Link link);
+
+  std::size_t num_ases() const { return nodes_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  const AsNode& as_node(Asn asn) const {
+    IRP_CHECK(asn >= 1 && asn <= nodes_.size(), "ASN out of range");
+    return nodes_[asn - 1];
+  }
+  AsNode& as_node_mutable(Asn asn) {
+    IRP_CHECK(asn >= 1 && asn <= nodes_.size(), "ASN out of range");
+    return nodes_[asn - 1];
+  }
+
+  const Link& link(LinkId id) const {
+    IRP_CHECK(id < links_.size(), "link id out of range");
+    return links_[id];
+  }
+  Link& link_mutable(LinkId id) {
+    IRP_CHECK(id < links_.size(), "link id out of range");
+    return links_[id];
+  }
+
+  /// The endpoint of `link` that is not `self`.
+  Asn other_end(const Link& link, Asn self) const;
+
+  /// Role of the *other* endpoint from `self`'s point of view.
+  Relationship relationship_from(const Link& link, Asn self) const;
+
+  /// IGP cost from `self`'s backbone to this link.
+  int igp_cost_from(const Link& link, Asn self) const;
+
+  /// Local-pref delta `self` applies to routes learned over this link.
+  int lp_delta_from(const Link& link, Asn self) const;
+
+  /// True if the link exists at `epoch`.
+  bool link_alive(const Link& link, int epoch) const {
+    return link.born_epoch <= epoch && epoch < link.died_epoch;
+  }
+
+  /// All link ids adjacent to `asn`.
+  std::span<const LinkId> links_of(Asn asn) const {
+    return as_node(asn).links;
+  }
+
+  /// All links between a pair of ASes (hybrid pairs have more than one).
+  std::vector<LinkId> links_between(Asn a, Asn b) const;
+
+  /// ASNs belonging to an organization.
+  const std::vector<Asn>& ases_of_org(OrgId org) const;
+
+  /// True if the two ASes belong to the same organization.
+  bool same_org(Asn a, Asn b) const {
+    return as_node(a).org == as_node(b).org;
+  }
+
+  /// Iterates over every AS (by ASN).
+  template <typename Fn>
+  void for_each_as(Fn&& fn) const {
+    for (const auto& node : nodes_) fn(node);
+  }
+
+  /// Iterates over every link.
+  template <typename Fn>
+  void for_each_link(Fn&& fn) const {
+    for (const auto& l : links_) fn(l);
+  }
+
+  /// Size of the customer cone of `asn` (itself + all transitively reachable
+  /// customers over alive links at `epoch`). Used for AS-type checks.
+  std::size_t customer_cone_size(Asn asn, int epoch) const;
+
+ private:
+  std::vector<AsNode> nodes_;
+  std::vector<Link> links_;
+  std::map<OrgId, std::vector<Asn>> orgs_;
+};
+
+}  // namespace irp

@@ -1,0 +1,51 @@
+#include "topo/types.hpp"
+
+#include "util/check.hpp"
+
+namespace irp {
+
+Relationship reverse(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kPeer:     return Relationship::kPeer;
+    case Relationship::kSibling:  return Relationship::kSibling;
+  }
+  IRP_UNREACHABLE("unknown relationship");
+}
+
+std::string_view relationship_name(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kProvider: return "provider";
+    case Relationship::kPeer:     return "peer";
+    case Relationship::kSibling:  return "sibling";
+  }
+  IRP_UNREACHABLE("unknown relationship");
+}
+
+int preference_class(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return 0;
+    case Relationship::kSibling:  return 0;
+    case Relationship::kPeer:     return 1;
+    case Relationship::kProvider: return 2;
+  }
+  IRP_UNREACHABLE("unknown relationship");
+}
+
+std::string_view as_type_name(AsType t) {
+  switch (t) {
+    case AsType::kStub:      return "Stub-AS";
+    case AsType::kSmallIsp:  return "Small ISP";
+    case AsType::kLargeIsp:  return "Large ISP";
+    case AsType::kTier1:     return "Tier-1";
+    case AsType::kContent:   return "Content";
+    case AsType::kCable:     return "Cable";
+    case AsType::kEducation: return "Education";
+    case AsType::kTestbed:   return "Testbed";
+  }
+  IRP_UNREACHABLE("unknown AS type");
+}
+
+}  // namespace irp

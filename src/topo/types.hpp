@@ -1,0 +1,139 @@
+// Core types of the AS-level topology: ASes, business relationships, links.
+//
+// The ground-truth topology is what the BGP simulator routes over. It is
+// deliberately richer than the Gao-Rexford abstraction: per-link
+// relationships (hybrid pairs differ by city), partial transit, sibling
+// organizations, per-prefix export filters, per-link local-pref overrides,
+// and domestic-path preference — exactly the phenomena the paper finds
+// unmodeled in the wild.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/world.hpp"
+#include "net/ipv4.hpp"
+
+namespace irp {
+
+using Asn = std::uint32_t;
+using LinkId = std::uint32_t;
+using OrgId = std::uint32_t;
+
+/// Sentinel for "no link".
+inline constexpr LinkId kInvalidLink = ~LinkId{0};
+
+/// Business role of a neighbor from the local AS's point of view.
+enum class Relationship : std::uint8_t {
+  kCustomer,  ///< The neighbor is my customer (I am its provider).
+  kPeer,      ///< Settlement-free peering.
+  kProvider,  ///< The neighbor is my provider (I am its customer).
+  kSibling,   ///< Same organization; mutual transit.
+};
+
+/// The opposite perspective of a relationship (customer <-> provider).
+Relationship reverse(Relationship r);
+
+/// Short label, e.g. "c2p" rendered per side: "customer", "peer", ...
+std::string_view relationship_name(Relationship r);
+
+/// Gao-Rexford preference class of a relationship: lower is more preferred
+/// (customer=0, peer=1, provider=2). Siblings rank with customers.
+int preference_class(Relationship r);
+
+/// AS category, following the Oliveira et al. scheme used for Table 1.
+enum class AsType : std::uint8_t {
+  kStub,      ///< Edge network, no customers.
+  kSmallIsp,  ///< Regional ISP with a small customer cone.
+  kLargeIsp,  ///< National/continental transit provider.
+  kTier1,     ///< Clique member, no providers.
+  kContent,   ///< Content provider network (CDN, video, web).
+  kCable,     ///< Undersea-cable operator AS (point-to-point transit).
+  kEducation, ///< Research & education network (GREN).
+  kTestbed,   ///< The PEERING-style experiment AS.
+};
+
+std::string_view as_type_name(AsType t);
+
+/// A point of presence: a city where the AS has routers, plus the
+/// infrastructure prefix its router interfaces come from.
+struct PointOfPresence {
+  CityId city = 0;
+  Ipv4Prefix router_prefix;  ///< Hop addresses emitted by traceroute.
+};
+
+/// A prefix originated by an AS, with its ground-truth export policy.
+struct OriginatedPrefix {
+  Ipv4Prefix prefix;
+  /// Links over which the origin announces this prefix. Empty means "all
+  /// links" (the common case); non-empty models selective prefix
+  /// announcement — the paper's §4.3 prefix-specific policies.
+  std::vector<LinkId> announce_only_on;
+  /// Marks prefixes hosting premium services, routed via specific
+  /// (typically more expensive) providers; used only for reporting.
+  bool selective = false;
+  /// Per-link AS-path prepending (inbound traffic engineering): the origin
+  /// announces this prefix with its ASN repeated `count` extra times over
+  /// the given links.
+  std::vector<std::pair<LinkId, int>> prepend_on;
+};
+
+/// An autonomous system in the ground-truth topology.
+struct AsNode {
+  Asn asn = 0;
+  AsType type = AsType::kStub;
+  OrgId org = 0;                 ///< Owning organization (siblings share it).
+  CountryId home_country = 0;    ///< whois registration country.
+  std::vector<PointOfPresence> pops;
+  std::vector<OriginatedPrefix> prefixes;
+  std::vector<LinkId> links;     ///< All adjacent links.
+  /// True if this AS up-prefs routes whose entire AS path stays inside its
+  /// home country (the §6 "domestic paths" behaviour).
+  bool prefers_domestic = false;
+  /// True if this AS ranks all neighbors equally and effectively picks the
+  /// shortest AS path regardless of relationship class (a common real-world
+  /// deviation that produces NonBest/Short decisions).
+  bool flat_local_pref = false;
+  /// Logical epoch at which the AS's links became active; used by the
+  /// snapshot evolution model.
+  int born_epoch = 0;
+  /// True if the AS operates a public looking-glass server (used by the
+  /// §4.3 validation of prefix-specific policies).
+  bool has_looking_glass = false;
+};
+
+/// An interconnection between two ASes at one city.
+///
+/// A pair of ASes may share several links (multiple interconnection cities);
+/// hybrid relationships (§4.1) are pairs whose links carry *different*
+/// relationships in different cities.
+struct Link {
+  LinkId id = 0;
+  Asn a = 0;
+  Asn b = 0;
+  /// Role of `b` from `a`'s perspective; the reverse holds for `a` from `b`.
+  Relationship rel_of_b_from_a = Relationship::kPeer;
+  CityId city = 0;
+  /// Intradomain (IGP) cost from each endpoint's backbone to this link;
+  /// drives hot-potato tie-breaking in the BGP decision process.
+  int igp_cost_a = 0;
+  int igp_cost_b = 0;
+  /// Local-pref adjustment each side applies to routes learned over this
+  /// link, on top of the relationship-class base. Non-zero values model
+  /// traffic engineering that deviates from Gao-Rexford.
+  int lp_delta_a = 0;
+  int lp_delta_b = 0;
+  /// Partial transit (§4.1): when true and the relationship is transit,
+  /// the provider serves only a hash-selected subset of prefixes.
+  bool partial_transit = false;
+  /// Epoch bounds for topology evolution: the link exists in snapshots
+  /// [born_epoch, died_epoch). A link dead at the measurement epoch but
+  /// alive in earlier snapshots becomes a *stale* link in the aggregated
+  /// inferred topology (the paper's Netflix/AS3549 case).
+  int born_epoch = 0;
+  int died_epoch = 1 << 30;
+};
+
+}  // namespace irp

@@ -1,0 +1,72 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace irp {
+
+std::string render_stacked_bars(const std::vector<StackedBar>& bars,
+                                const std::vector<char>& glyphs, int width) {
+  IRP_CHECK(width > 0, "bar width must be positive");
+  IRP_CHECK(!glyphs.empty(), "need at least one glyph");
+  std::size_t label_width = 0;
+  for (const auto& bar : bars)
+    label_width = std::max(label_width, bar.label.size());
+
+  std::string out;
+  for (const auto& bar : bars) {
+    out += bar.label;
+    out.append(label_width - bar.label.size() + 2, ' ');
+    out += '|';
+    int used = 0;
+    for (std::size_t s = 0; s < bar.segments.size(); ++s) {
+      const double share = std::clamp(bar.segments[s], 0.0, 1.0);
+      int cells = int(std::lround(share * width));
+      cells = std::min(cells, width - used);
+      out.append(std::size_t(cells), glyphs[s % glyphs.size()]);
+      used += cells;
+    }
+    out.append(std::size_t(width - used), ' ');
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string render_curves(const std::vector<CurveSeries>& series,
+                          const std::vector<char>& glyphs, int width,
+                          int height) {
+  IRP_CHECK(width > 2 && height > 2, "grid too small");
+  IRP_CHECK(!glyphs.empty(), "need at least one glyph");
+  double max_x = 1.0;
+  for (const auto& s : series)
+    for (const auto& [x, y] : s.points) max_x = std::max(max_x, x);
+
+  std::vector<std::string> grid(std::size_t(height),
+                                std::string(std::size_t(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = glyphs[si % glyphs.size()];
+    for (const auto& [x, y] : series[si].points) {
+      const int col = std::clamp(int(std::lround(x / max_x * (width - 1))), 0,
+                                 width - 1);
+      const double yc = std::clamp(y, 0.0, 1.0);
+      const int row = std::clamp(
+          height - 1 - int(std::lround(yc * (height - 1))), 0, height - 1);
+      grid[std::size_t(row)][std::size_t(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += "1.0 +" + std::string(std::size_t(width), '-') + "+\n";
+  for (const auto& row : grid) out += "    |" + row + "|\n";
+  out += "0.0 +" + std::string(std::size_t(width), '-') + "+  x: 0.." +
+         fixed(max_x, 0) + "\n";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out += "    " + std::string(1, glyphs[si % glyphs.size()]) + " = " +
+           series[si].label + "\n";
+  return out;
+}
+
+}  // namespace irp

@@ -1,0 +1,37 @@
+// Text-mode charts for the figure harnesses: stacked horizontal bars
+// (Figure 1/3) and step plots of cumulative curves (Figure 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace irp {
+
+/// One bar of a stacked horizontal bar chart.
+struct StackedBar {
+  std::string label;
+  /// Segment shares in [0,1]; rendered left to right with the glyphs given
+  /// to render_stacked_bars (cycled if needed).
+  std::vector<double> segments;
+};
+
+/// Renders stacked horizontal bars, `width` characters per full bar.
+/// Each segment uses the corresponding glyph from `glyphs`.
+std::string render_stacked_bars(const std::vector<StackedBar>& bars,
+                                const std::vector<char>& glyphs,
+                                int width = 60);
+
+/// A monotone curve given as (x, y) points with y in [0,1].
+struct CurveSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders one or more cumulative curves into a height x width character
+/// grid; the x-axis spans [0, max x across series]. Each series is drawn
+/// with its own glyph ('a' + index by default via `glyphs`).
+std::string render_curves(const std::vector<CurveSeries>& series,
+                          const std::vector<char>& glyphs, int width = 64,
+                          int height = 16);
+
+}  // namespace irp

@@ -1,0 +1,45 @@
+// Lightweight invariant-checking utilities.
+//
+// IRP_CHECK(cond, msg)    -- throws irp::CheckError if cond is false, always on.
+// IRP_UNREACHABLE(msg)    -- throws irp::CheckError, marks impossible branches.
+//
+// These guard *logic* errors (broken invariants, bad configuration). They are
+// deliberately exceptions rather than asserts so that tests can exercise the
+// failure paths and so that misuse of the public API fails loudly in release
+// builds too.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace irp {
+
+/// Error thrown when an internal invariant or API precondition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError{os.str()};
+}
+
+}  // namespace detail
+}  // namespace irp
+
+#define IRP_CHECK(cond, msg)                                       \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::irp::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+    }                                                              \
+  } while (false)
+
+#define IRP_UNREACHABLE(msg) \
+  ::irp::detail::check_failed("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,25 @@
+#include "util/file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace irp {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  IRP_CHECK(in.good(), "cannot open file for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  IRP_CHECK(out.good(), "cannot open file for writing: " + path);
+  out.write(contents.data(), std::streamsize(contents.size()));
+  IRP_CHECK(out.good(), "write failed: " + path);
+}
+
+}  // namespace irp

@@ -1,0 +1,15 @@
+// Minimal whole-file I/O helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace irp {
+
+/// Reads a whole file; throws CheckError when the file cannot be opened.
+std::string read_file(const std::string& path);
+
+/// Writes (truncates) a whole file; throws CheckError on failure.
+void write_file(const std::string& path, std::string_view contents);
+
+}  // namespace irp

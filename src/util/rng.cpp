@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace irp {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  IRP_CHECK(lo <= hi, "uniform_u64 requires lo <= hi");
+  const std::uint64_t span = hi - lo;
+  if (span == max()) return next();
+  // Debiased modulo (rejection sampling on the tail).
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + v % bound;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  IRP_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  return lo + static_cast<int>(uniform_u64(0, static_cast<std::uint64_t>(
+                                                  hi - lo)));
+}
+
+std::size_t Rng::index(std::size_t n) {
+  IRP_CHECK(n > 0, "index requires n > 0");
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+double Rng::uniform() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  IRP_CHECK(mean > 0.0, "exponential mean must be positive");
+  double u = uniform();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Irwin–Hall approximation: sum of 12 uniforms has mean 6, variance 1.
+  double s = 0.0;
+  for (int i = 0; i < 12; ++i) s += uniform();
+  return mean + stddev * (s - 6.0);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  IRP_CHECK(n > 0, "zipf requires n > 0");
+  if (n == 1) return 0;
+  // Inverse-CDF over the (truncated) harmonic weights. For the sizes used in
+  // this library (n up to a few thousand) a linear scan is fine and exact.
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double target = uniform() * norm;
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (acc >= target) return k - 1;
+  }
+  return n - 1;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  IRP_CHECK(k <= n, "cannot sample more indices than available");
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher-Yates: first k entries become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::fork() { return Rng{next()}; }
+
+}  // namespace irp

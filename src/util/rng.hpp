@@ -1,0 +1,95 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every stochastic component of the library takes an irp::Rng (or a seed) so a
+// whole study — topology generation, measurement campaigns, inference noise —
+// is a pure function of its StudyConfig. The generator is xoshiro256**
+// seeded via SplitMix64, which is fast, has a 256-bit state and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace irp {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded by SplitMix64).
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions, but the member helpers below are preferred: they
+/// are stable across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform size_t in [0, n-1]. Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Approximately normal value (sum of uniforms), mean/stddev as given.
+  double normal(double mean, double stddev);
+
+  /// Zipf-like rank sample in [0, n-1] with exponent s (s >= 0).
+  /// Rank 0 is the most popular element.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    IRP_CHECK(!v.empty(), "pick from empty vector");
+    return v[index(v.size())];
+  }
+
+  /// Fisher-Yates shuffle, stable across platforms.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = index(i + 1);
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator; changing the amount of
+  /// randomness consumed by one component does not perturb the others.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace irp

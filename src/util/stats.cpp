@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace irp {
+
+std::vector<CdfPoint> ranked_cdf(const std::vector<std::size_t>& counts) {
+  std::vector<std::size_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double total = double(
+      std::accumulate(sorted.begin(), sorted.end(), std::size_t{0}));
+  std::vector<CdfPoint> out;
+  out.reserve(sorted.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    acc += double(sorted[i]);
+    out.push_back({i + 1, total == 0.0 ? 0.0 : acc / total});
+  }
+  return out;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / double(v.size());
+}
+
+double percentile(std::vector<double> v, double p) {
+  IRP_CHECK(!v.empty(), "percentile of empty vector");
+  IRP_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * double(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double gini(std::vector<double> v) {
+  if (v.size() < 2) return 0.0;
+  std::sort(v.begin(), v.end());
+  double cum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    IRP_CHECK(v[i] >= 0.0, "gini requires non-negative values");
+    cum += v[i];
+    weighted += double(i + 1) * v[i];
+  }
+  if (cum == 0.0) return 0.0;
+  const double n = double(v.size());
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace irp

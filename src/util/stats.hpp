@@ -1,0 +1,73 @@
+// Statistics helpers: counters, fractions, and empirical CDFs.
+//
+// These back the paper's summary tables (shares of decision categories) and
+// the skew CDFs of Figure 2.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <string>
+#include <vector>
+
+namespace irp {
+
+/// Counts occurrences of keys and reports shares of the total.
+template <typename Key>
+class Counter {
+ public:
+  void add(const Key& k, std::size_t n = 1) {
+    counts_[k] += n;
+    total_ += n;
+  }
+
+  std::size_t count(const Key& k) const {
+    auto it = counts_.find(k);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::size_t total() const { return total_; }
+
+  /// Share of `k` among all additions; 0 if nothing was counted.
+  double share(const Key& k) const {
+    return total_ == 0 ? 0.0 : double(count(k)) / double(total_);
+  }
+
+  /// (key, count) pairs sorted by decreasing count (ties: key order).
+  std::vector<std::pair<Key, std::size_t>> sorted_desc() const {
+    std::vector<std::pair<Key, std::size_t>> v(counts_.begin(), counts_.end());
+    std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    return v;
+  }
+
+  const std::map<Key, std::size_t>& raw() const { return counts_; }
+
+ private:
+  std::map<Key, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// One point of an empirical CDF over ranked entities.
+struct CdfPoint {
+  std::size_t rank = 0;       ///< 1-based rank of the entity.
+  double cumulative = 0.0;    ///< Cumulative fraction of the mass at this rank.
+};
+
+/// Builds the "ranked contribution" CDF used by Figure 2: entities sorted by
+/// decreasing contribution, y = cumulative fraction of all contributions.
+std::vector<CdfPoint> ranked_cdf(const std::vector<std::size_t>& counts);
+
+/// Mean of a vector (0 for empty input).
+double mean(const std::vector<double>& v);
+
+/// p-th percentile (0..100) by nearest-rank; requires non-empty input.
+double percentile(std::vector<double> v, double p);
+
+/// Gini coefficient of a non-negative vector, a scalar skewness summary used
+/// in tests for Figure 2 (0 = perfectly even, ->1 = fully concentrated).
+double gini(std::vector<double> v);
+
+}  // namespace irp

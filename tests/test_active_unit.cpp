@@ -1,0 +1,157 @@
+// Unit test of the active experiments on a hand-crafted miniature Internet
+// with known preference orderings.
+#include <gtest/gtest.h>
+
+#include "core/active_study.hpp"
+#include "test_support.hpp"
+
+namespace irp {
+namespace {
+
+/// Builds: testbed(1) with muxes m1(2), m2(3); target X(5) with three
+/// disjoint routes toward the testbed — via its customer c(6), its peer
+/// p(7), and its provider v(8) — plus a vantage probe AS(9) below X.
+class ActiveUnitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<GeneratedInternet>();
+    WorldConfig wc;
+    wc.countries_per_continent = 1;
+    wc.cities_per_country = 1;
+    wc.country_overrides.clear();
+    Rng world_rng{1};
+    net_->world = World::generate(wc, world_rng);
+    net_->geo = std::make_unique<GeoDatabase>(&net_->world, 0.0, Rng{2});
+
+    tb_ = t_.add();         // 1
+    m1_ = t_.add();         // 2
+    m2_ = t_.add();         // 3
+    t_.add();               // 4 (unused spacer)
+    x_ = t_.add();          // 5
+    c_ = t_.add();          // 6
+    p_ = t_.add();          // 7
+    v_ = t_.add();          // 8
+    probe_ = t_.add();      // 9
+
+    // Testbed buys from both muxes.
+    mux_link1_ = t_.link(tb_, m1_, Relationship::kProvider);
+    mux_link2_ = t_.link(tb_, m2_, Relationship::kProvider);
+    // Route via X's customer c: c is a provider of m1.
+    t_.link(m1_, c_, Relationship::kProvider);
+    t_.link(x_, c_, Relationship::kCustomer);
+    // Route via X's peer p: p is a provider of m2.
+    t_.link(m2_, p_, Relationship::kProvider);
+    t_.link(x_, p_, Relationship::kPeer);
+    // Route via X's provider v: v is another provider of m1.
+    t_.link(m1_, v_, Relationship::kProvider);
+    t_.link(x_, v_, Relationship::kProvider);
+    // The vantage probe buys from X.
+    t_.link(x_, probe_, Relationship::kCustomer);
+
+    net_->topology = std::move(t_.topo);
+    net_->testbed_asn = tb_;
+    net_->testbed_muxes = {m1_, m2_};
+    net_->testbed_mux_links = {mux_link1_, mux_link2_};
+    net_->testbed_prefixes = {*Ipv4Prefix::parse("198.51.100.0/24")};
+    net_->collector_peers = {c_};
+    net_->measurement_epoch = 0;
+
+    // The analyst's relationship DB matches ground truth exactly.
+    inferred_.set(x_, c_, InferredRel::kAProviderOfB);  // x provides c.
+    inferred_.set(x_, p_, InferredRel::kPeer);
+    inferred_.set(v_, x_, InferredRel::kAProviderOfB);  // v provides x.
+    inferred_.set(c_, m1_, InferredRel::kAProviderOfB);
+    inferred_.set(v_, m1_, InferredRel::kAProviderOfB);
+    inferred_.set(p_, m2_, InferredRel::kAProviderOfB);
+    inferred_.set(m1_, tb_, InferredRel::kAProviderOfB);
+    inferred_.set(m2_, tb_, InferredRel::kAProviderOfB);
+    inferred_.set(x_, probe_, InferredRel::kAProviderOfB);
+
+    policy_ = std::make_unique<GroundTruthPolicy>(&net_->topology);
+  }
+
+  test::TinyTopo t_;
+  std::unique_ptr<GeneratedInternet> net_;
+  InferredTopology inferred_;
+  std::unique_ptr<GroundTruthPolicy> policy_;
+  Asn tb_{}, m1_{}, m2_{}, x_{}, c_{}, p_{}, v_{}, probe_{};
+  LinkId mux_link1_{}, mux_link2_{};
+};
+
+TEST_F(ActiveUnitTest, DiscoversCustomerPeerProviderOrdering) {
+  ActiveConfig config;
+  config.max_rounds = 6;
+  ActiveExperiment active{net_.get(), policy_.get(), &inferred_, {probe_},
+                          config};
+  const AlternateRouteReport report = active.discover_alternate_routes();
+
+  // Two ASes reveal >= 2 routes: X (sequence c, p, v — customer, peer,
+  // provider at equal lengths) and c (direct provider m1, then the longer
+  // backup via its other provider X). Both follow Best and Shortest.
+  EXPECT_EQ(report.targets, 2u);
+  EXPECT_EQ(report.both, 2u);
+  EXPECT_EQ(report.best_only, 0u);
+  EXPECT_EQ(report.short_only, 0u);
+  EXPECT_EQ(report.neither, 0u);
+  EXPECT_GT(report.poisoned_announcements, 2u);
+  EXPECT_EQ(report.links_not_in_db, 0u);
+  EXPECT_GE(report.links_observed, 6u);
+}
+
+TEST_F(ActiveUnitTest, OrderingViolationDetectedWhenGroundTruthDeviates) {
+  // Make X prefer its provider over everything (traffic engineering).
+  for (LinkId lid : net_->topology.as_node(x_).links) {
+    Link& l = net_->topology.link_mutable(lid);
+    if (net_->topology.other_end(l, x_) == v_) {
+      if (l.a == x_)
+        l.lp_delta_a = 300;
+      else
+        l.lp_delta_b = 300;
+    }
+  }
+  ActiveConfig config;
+  config.max_rounds = 6;
+  ActiveExperiment active{net_.get(), policy_.get(), &inferred_, {probe_},
+                          config};
+  const AlternateRouteReport report = active.discover_alternate_routes();
+  EXPECT_EQ(report.targets, 2u);
+  // X's sequence v, c, p violates Best (provider before customer) at equal
+  // lengths, landing in Shortest-only; c's backup ordering stays clean.
+  EXPECT_EQ(report.short_only, 1u);
+  EXPECT_EQ(report.both, 1u);
+  EXPECT_EQ(report.neither, 0u);
+}
+
+TEST_F(ActiveUnitTest, MagnetExperimentProducesTriggers) {
+  ActiveConfig config;
+  ActiveExperiment active{net_.get(), policy_.get(), &inferred_, {probe_},
+                          config};
+  const Table2Report report = active.magnet_experiment();
+  // X chooses among three candidate routes after anycast; its decision is
+  // relationship-driven (customer beats peer/provider). Observed via the
+  // traceroute channel (probe -> X -> ...) and the feeds channel (c).
+  EXPECT_GT(report.traceroutes.total(), 0u);
+  EXPECT_GT(report.traceroutes.best_relationship, 0u);
+  EXPECT_EQ(report.traceroutes.violation, 0u);
+}
+
+TEST_F(ActiveUnitTest, PoisonedSequenceExhaustsRoutes) {
+  BgpEngine engine{&net_->topology, policy_.get(), 0};
+  const Ipv4Prefix pfx = net_->testbed_prefixes[0];
+  engine.announce(pfx, tb_);
+  engine.run();
+
+  std::vector<Asn> order;
+  std::vector<Asn> poison;
+  while (const auto* sel = engine.best(x_, pfx)) {
+    order.push_back(sel->next_hop);
+    poison.push_back(sel->next_hop);
+    engine.announce(pfx, tb_, AnnounceOptions{.poison_set = poison});
+    engine.run();
+    ASSERT_LE(order.size(), 4u);
+  }
+  EXPECT_EQ(order, (std::vector<Asn>{c_, p_, v_}));
+}
+
+}  // namespace
+}  // namespace irp

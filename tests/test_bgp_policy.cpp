@@ -1,0 +1,168 @@
+// Tests for the ground-truth policy: import preference and export filters.
+#include <gtest/gtest.h>
+
+#include "bgp/policy.hpp"
+#include "test_support.hpp"
+
+namespace irp {
+namespace {
+
+TEST(Policy, LocalPrefFollowsRelationshipClasses) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn cust = t.add();
+  const Asn peer = t.add();
+  const Asn prov = t.add();
+  const LinkId lc = t.link(self, cust, Relationship::kCustomer);
+  const LinkId lp = t.link(self, peer, Relationship::kPeer);
+  const LinkId lv = t.link(self, prov, Relationship::kProvider);
+  GroundTruthPolicy policy{&t.topo};
+  const AsPath path{{cust}, {}};
+  const int c = policy.local_pref(self, t.topo.link(lc), path);
+  const int p = policy.local_pref(self, t.topo.link(lp), path);
+  const int v = policy.local_pref(self, t.topo.link(lv), path);
+  EXPECT_GT(c, p);
+  EXPECT_GT(p, v);
+}
+
+TEST(Policy, SiblingBeatsCustomer) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn sib = t.add();
+  const Asn cust = t.add();
+  const LinkId ls = t.link(self, sib, Relationship::kSibling);
+  const LinkId lc = t.link(self, cust, Relationship::kCustomer);
+  GroundTruthPolicy policy{&t.topo};
+  const AsPath path{{sib}, {}};
+  EXPECT_GT(policy.local_pref(self, t.topo.link(ls), path),
+            policy.local_pref(self, t.topo.link(lc), path));
+}
+
+TEST(Policy, LinkDeltaShiftsPreference) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn peer = t.add();
+  const LinkId lp = t.link(self, peer, Relationship::kPeer);
+  t.topo.link_mutable(lp).lp_delta_a = 150;  // self is side a.
+  GroundTruthPolicy policy{&t.topo};
+  const AsPath path{{peer}, {}};
+  EXPECT_EQ(policy.local_pref(self, t.topo.link(lp), path),
+            policy.config().lp_peer + 150);
+}
+
+TEST(Policy, FlatLocalPrefIgnoresClasses) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn cust = t.add();
+  const Asn prov = t.add();
+  t.topo.as_node_mutable(self).flat_local_pref = true;
+  const LinkId lc = t.link(self, cust, Relationship::kCustomer);
+  const LinkId lv = t.link(self, prov, Relationship::kProvider);
+  GroundTruthPolicy policy{&t.topo};
+  const AsPath path{{cust}, {}};
+  EXPECT_EQ(policy.local_pref(self, t.topo.link(lc), path),
+            policy.local_pref(self, t.topo.link(lv), path));
+}
+
+TEST(Policy, DomesticBonusAppliesOnlyToFullyDomesticPaths) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn nbr = t.add();
+  const Asn foreign = t.add();
+  t.topo.as_node_mutable(self).prefers_domestic = true;
+  t.topo.as_node_mutable(foreign).home_country = 1;
+  const LinkId l = t.link(self, nbr, Relationship::kPeer);
+  GroundTruthPolicy policy{&t.topo};
+
+  const AsPath domestic{{nbr}, {}};
+  const AsPath mixed{{nbr, foreign}, {}};
+  EXPECT_TRUE(policy.path_is_domestic(self, domestic));
+  EXPECT_FALSE(policy.path_is_domestic(self, mixed));
+  EXPECT_EQ(policy.local_pref(self, t.topo.link(l), domestic),
+            policy.config().lp_peer + policy.config().domestic_bonus);
+  EXPECT_EQ(policy.local_pref(self, t.topo.link(l), mixed),
+            policy.config().lp_peer);
+}
+
+TEST(Policy, GaoRexfordExportRules) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn cust = t.add();
+  const Asn peer = t.add();
+  const Asn prov = t.add();
+  const LinkId lc = t.link(self, cust, Relationship::kCustomer);
+  const LinkId lp = t.link(self, peer, Relationship::kPeer);
+  const LinkId lv = t.link(self, prov, Relationship::kProvider);
+  GroundTruthPolicy policy{&t.topo};
+  const Ipv4Prefix pfx = t.prefix_of(cust);
+
+  // Customer-learned routes go everywhere.
+  for (LinkId out : {lc, lp, lv})
+    EXPECT_TRUE(policy.export_ok(self, Relationship::kCustomer,
+                                 t.topo.link(out), pfx));
+  // Self-originated routes go everywhere.
+  for (LinkId out : {lc, lp, lv})
+    EXPECT_TRUE(policy.export_ok(self, std::nullopt, t.topo.link(out), pfx));
+  // Peer/provider-learned routes go to customers only.
+  for (Relationship learned : {Relationship::kPeer, Relationship::kProvider}) {
+    EXPECT_TRUE(policy.export_ok(self, learned, t.topo.link(lc), pfx));
+    EXPECT_FALSE(policy.export_ok(self, learned, t.topo.link(lp), pfx));
+    EXPECT_FALSE(policy.export_ok(self, learned, t.topo.link(lv), pfx));
+  }
+}
+
+TEST(Policy, SiblingExportIsTransparent) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn sib = t.add();
+  const Asn peer = t.add();
+  const LinkId ls = t.link(self, sib, Relationship::kSibling);
+  const LinkId lp = t.link(self, peer, Relationship::kPeer);
+  GroundTruthPolicy policy{&t.topo};
+  const Ipv4Prefix pfx = t.prefix_of(sib);
+  // Anything may be exported *to* a sibling.
+  for (Relationship learned : {Relationship::kCustomer, Relationship::kPeer,
+                               Relationship::kProvider})
+    EXPECT_TRUE(policy.export_ok(self, learned, t.topo.link(ls), pfx));
+  // Sibling-class routes count as the organization's own.
+  EXPECT_TRUE(policy.export_ok(self, Relationship::kSibling, t.topo.link(lp),
+                               pfx));
+}
+
+TEST(Policy, PartialTransitFiltersDeterministically) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn cust = t.add();
+  const LinkId lc = t.link(self, cust, Relationship::kCustomer);
+  t.topo.link_mutable(lc).partial_transit = true;
+  GroundTruthPolicy policy{&t.topo};
+
+  int served = 0;
+  const int total = 64;
+  for (int i = 0; i < total; ++i) {
+    const Ipv4Prefix pfx{Ipv4Addr(10, 10, std::uint8_t(i), 0), 24};
+    const bool ok =
+        policy.export_ok(self, Relationship::kCustomer, t.topo.link(lc), pfx);
+    // Deterministic: repeated calls agree.
+    EXPECT_EQ(ok, policy.export_ok(self, Relationship::kCustomer,
+                                   t.topo.link(lc), pfx));
+    if (ok) ++served;
+  }
+  // Roughly half of prefixes served.
+  EXPECT_GT(served, total / 4);
+  EXPECT_LT(served, 3 * total / 4);
+}
+
+TEST(Policy, PartialTransitDoesNotAffectPeerExports) {
+  test::TinyTopo t;
+  const Asn self = t.add();
+  const Asn peer = t.add();
+  const LinkId lp = t.link(self, peer, Relationship::kPeer);
+  t.topo.link_mutable(lp).partial_transit = true;  // Meaningless on a peer link.
+  GroundTruthPolicy policy{&t.topo};
+  EXPECT_TRUE(policy.export_ok(self, Relationship::kCustomer, t.topo.link(lp),
+                               t.prefix_of(peer)));
+}
+
+}  // namespace
+}  // namespace irp

@@ -1,0 +1,71 @@
+// Tests for the text-mode chart renderers.
+#include <gtest/gtest.h>
+
+#include "util/ascii_chart.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace irp {
+namespace {
+
+TEST(StackedBars, RendersSharesProportionally) {
+  std::vector<StackedBar> bars{{"half", {0.5, 0.5}}, {"all", {1.0}}};
+  const std::string out = render_stacked_bars(bars, {'#', '.'}, 10);
+  const auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("#####....."), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("##########"), std::string::npos) << lines[1];
+}
+
+TEST(StackedBars, AlignsLabels) {
+  std::vector<StackedBar> bars{{"a", {0.1}}, {"longer", {0.1}}};
+  const std::string out = render_stacked_bars(bars, {'#'}, 10);
+  const auto lines = split(out, '\n');
+  // Both bars start at the same column.
+  EXPECT_EQ(lines[0].find('|'), lines[1].find('|'));
+}
+
+TEST(StackedBars, ClampsOverfullBars) {
+  std::vector<StackedBar> bars{{"x", {0.9, 0.9}}};  // Sums over 1.
+  const std::string out = render_stacked_bars(bars, {'#', '.'}, 10);
+  // Never wider than the frame.
+  const auto lines = split(out, '\n');
+  EXPECT_LE(lines[0].size(), std::size_t(1 + 2 + 1 + 10 + 1));
+}
+
+TEST(StackedBars, RejectsBadArguments) {
+  EXPECT_THROW(render_stacked_bars({}, {}, 10), CheckError);
+  EXPECT_THROW(render_stacked_bars({}, {'#'}, 0), CheckError);
+}
+
+TEST(Curves, PlotsEndpointsAndLegend) {
+  CurveSeries s;
+  s.label = "cdf";
+  s.points = {{1, 0.0}, {50, 0.5}, {100, 1.0}};
+  const std::string out = render_curves({s}, {'*'}, 40, 10);
+  EXPECT_NE(out.find("* = cdf"), std::string::npos);
+  EXPECT_NE(out.find("x: 0..100"), std::string::npos);
+  // Top row (y=1.0) contains a point; legend glyph drawn somewhere.
+  const auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 12u);
+  EXPECT_NE(lines[1].find('*'), std::string::npos);  // y=1.0 row.
+}
+
+TEST(Curves, MultipleSeriesDistinctGlyphs) {
+  CurveSeries a{"a", {{1, 0.2}}};
+  CurveSeries b{"b", {{1, 0.8}}};
+  const std::string out = render_curves({a, b}, {'*', 'o'}, 30, 8);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("o = b"), std::string::npos);
+}
+
+TEST(Curves, ClampsOutOfRangeY) {
+  CurveSeries s{"s", {{1, 1.5}, {2, -0.5}}};
+  // Must not throw or write out of bounds.
+  const std::string out = render_curves({s}, {'*'}, 20, 6);
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace irp

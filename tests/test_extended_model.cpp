@@ -1,0 +1,73 @@
+// Tests for the §7 extended-model corrections.
+#include <gtest/gtest.h>
+
+#include "core/extended_model.hpp"
+#include "test_support.hpp"
+
+namespace irp {
+namespace {
+
+TEST(CableCorrection, RelabelsCableIncidentLinks) {
+  InferredTopology topo;
+  topo.set(10, 1, InferredRel::kAProviderOfB);  // Misinferred: 10 provides 1.
+  topo.set(1, 20, InferredRel::kPeer);          // Misinferred peer.
+  topo.set(10, 20, InferredRel::kPeer);         // No cable involved.
+  CableRegistry cables;
+  cables.add({"cable-x", 1});
+
+  const InferredTopology fixed = apply_cable_correction(topo, cables);
+  // The cable (AS 1) becomes the provider on its links.
+  EXPECT_EQ(fixed.relationship(10, 1), Relationship::kProvider);
+  EXPECT_EQ(fixed.relationship(20, 1), Relationship::kProvider);
+  // Unrelated links are untouched.
+  EXPECT_EQ(fixed.relationship(10, 20), Relationship::kPeer);
+  EXPECT_EQ(fixed.num_links(), topo.num_links());
+}
+
+TEST(CableCorrection, CableToCableLinksUnchanged) {
+  InferredTopology topo;
+  topo.set(1, 2, InferredRel::kPeer);
+  CableRegistry cables;
+  cables.add({"a", 1});
+  cables.add({"b", 2});
+  const InferredTopology fixed = apply_cable_correction(topo, cables);
+  EXPECT_EQ(fixed.relationship(1, 2), Relationship::kPeer);
+}
+
+TEST(CableCorrection, IsIdempotent) {
+  InferredTopology topo;
+  topo.set(10, 1, InferredRel::kAProviderOfB);
+  CableRegistry cables;
+  cables.add({"cable-x", 1});
+  const auto once = apply_cable_correction(topo, cables);
+  const auto twice = apply_cable_correction(once, cables);
+  EXPECT_EQ(once.links(), twice.links());
+}
+
+TEST(ExtendedModel, MonotonicallyImprovesOnSmallStudy) {
+  const auto net = generate_internet(test::small_generator_config());
+  const auto ds = run_passive_study(*net, test::small_passive_config());
+  const ExtendedModelReport r = compute_extended_model(ds, *net);
+
+  const auto bs = [](const CategoryBreakdown& b) {
+    return b.share(DecisionCategory::kBestShort);
+  };
+  EXPECT_GT(bs(r.simple), 0.4);
+  EXPECT_GE(bs(r.all_refinements) + 1e-9, bs(r.simple));
+  EXPECT_GE(bs(r.extended) + 1e-9, bs(r.all_refinements));
+  EXPECT_EQ(r.simple.total(), ds.decisions.size());
+  EXPECT_EQ(r.extended.total(), ds.decisions.size());
+}
+
+TEST(ExtendedModel, StalePruningNeverAddsLinks) {
+  const auto net = generate_internet(test::small_generator_config());
+  const auto ds = run_passive_study(*net, test::small_passive_config());
+  const auto pruned = prune_stale_links(ds.inferred, net->neighbor_history,
+                                        net->measurement_epoch);
+  EXPECT_LE(pruned.num_links(), ds.inferred.num_links());
+  for (const auto& [pair, rel] : pruned.links())
+    EXPECT_TRUE(ds.inferred.has_link(pair.first, pair.second));
+}
+
+}  // namespace
+}  // namespace irp

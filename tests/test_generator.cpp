@@ -1,0 +1,255 @@
+// Invariant tests for the synthetic Internet generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/prefix_trie.hpp"
+#include "test_support.hpp"
+#include "topo/generator.hpp"
+
+namespace irp {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = generate_internet(test::small_generator_config()).release();
+  }
+  static void TearDownTestSuite() {
+    delete net_;
+    net_ = nullptr;
+  }
+  static const GeneratedInternet* net_;
+};
+
+const GeneratedInternet* GeneratorTest::net_ = nullptr;
+
+TEST_F(GeneratorTest, PopulationRostersAreConsistent) {
+  const auto& net = *net_;
+  EXPECT_EQ(net.tier1s.size(), 6u);
+  EXPECT_GE(net.large_isps.size(), 18u);  // 3 per continent + siblings.
+  EXPECT_EQ(net.cable_asns.size(), 3u);
+  EXPECT_EQ(net.testbed_muxes.size(), 7u);
+  EXPECT_NE(net.testbed_asn, 0u);
+  std::set<Asn> all;
+  for (const auto* roster :
+       {&net.tier1s, &net.large_isps, &net.small_isps, &net.stubs,
+        &net.education, &net.content_asns, &net.cable_asns})
+    for (Asn asn : *roster) EXPECT_TRUE(all.insert(asn).second) << asn;
+}
+
+TEST_F(GeneratorTest, Tier1CliqueIsFullMeshWithoutProviders) {
+  const auto& net = *net_;
+  for (Asn t : net.tier1s) {
+    for (LinkId lid : net.topology.links_of(t)) {
+      const Link& l = net.topology.link(lid);
+      EXPECT_NE(net.topology.relationship_from(l, t), Relationship::kProvider)
+          << "tier-1 " << t << " has a provider";
+    }
+    for (Asn u : net.tier1s) {
+      if (u == t) continue;
+      EXPECT_FALSE(net.topology.links_between(t, u).empty())
+          << "clique miss " << t << "-" << u;
+    }
+  }
+}
+
+TEST_F(GeneratorTest, EveryAsHasPopsPrefixesAndWhois) {
+  const auto& net = *net_;
+  net.topology.for_each_as([&](const AsNode& node) {
+    EXPECT_FALSE(node.pops.empty()) << node.asn;
+    if (node.type != AsType::kTestbed)
+      EXPECT_FALSE(node.prefixes.empty()) << node.asn;
+    EXPECT_TRUE(net.whois.has(node.asn)) << node.asn;
+  });
+}
+
+TEST_F(GeneratorTest, StubsHaveAtLeastOneStableProvider) {
+  const auto& net = *net_;
+  for (Asn stub : net.stubs) {
+    bool has_alive_provider = false;
+    for (LinkId lid : net.topology.links_of(stub)) {
+      const Link& l = net.topology.link(lid);
+      if (!net.topology.link_alive(l, net.measurement_epoch)) continue;
+      if (net.topology.relationship_from(l, stub) == Relationship::kProvider)
+        has_alive_provider = true;
+    }
+    EXPECT_TRUE(has_alive_provider) << "stub " << stub;
+  }
+}
+
+TEST_F(GeneratorTest, AllPrefixesAreGloballyDisjoint) {
+  const auto& net = *net_;
+  PrefixTrie<Asn> trie;
+  std::vector<Ipv4Prefix> all;
+  auto check_and_add = [&](const Ipv4Prefix& p, Asn asn) {
+    // No previously inserted prefix may contain or be contained by p.
+    EXPECT_FALSE(trie.lookup(p.network()).has_value()) << p.to_string();
+    EXPECT_FALSE(trie.exact(p).has_value()) << p.to_string();
+    trie.insert(p, asn);
+    all.push_back(p);
+  };
+  net.topology.for_each_as([&](const AsNode& node) {
+    for (const auto& pop : node.pops) check_and_add(pop.router_prefix, node.asn);
+    for (const auto& op : node.prefixes) check_and_add(op.prefix, node.asn);
+  });
+  for (const auto& p : net.testbed_prefixes) check_and_add(p, net.testbed_asn);
+  EXPECT_GT(all.size(), net.topology.num_ases());
+}
+
+TEST_F(GeneratorTest, SiblingLinksStayInsideOrganizations) {
+  const auto& net = *net_;
+  net.topology.for_each_link([&](const Link& l) {
+    if (l.rel_of_b_from_a == Relationship::kSibling)
+      EXPECT_TRUE(net.topology.same_org(l.a, l.b));
+  });
+}
+
+TEST_F(GeneratorTest, HybridPairsHaveDifferingRelationships) {
+  const auto& net = *net_;
+  EXPECT_EQ(net.hybrid_pairs.size(), 3u);
+  for (const auto& [a, b] : net.hybrid_pairs) {
+    const auto links = net.topology.links_between(a, b);
+    ASSERT_GE(links.size(), 2u);
+    std::set<Relationship> rels;
+    std::set<CityId> cities;
+    for (LinkId lid : links) {
+      rels.insert(net.topology.relationship_from(net.topology.link(lid), a));
+      cities.insert(net.topology.link(lid).city);
+    }
+    EXPECT_GE(rels.size(), 2u);
+    EXPECT_GE(cities.size(), 2u);  // Different interconnection cities.
+  }
+}
+
+TEST_F(GeneratorTest, CableAsesProvidePointToPointTransitOnly) {
+  const auto& net = *net_;
+  for (Asn cable : net.cable_asns) {
+    std::set<Continent> continents;
+    int customers = 0;
+    for (LinkId lid : net.topology.links_of(cable)) {
+      const Link& l = net.topology.link(lid);
+      const Relationship rel = net.topology.relationship_from(l, cable);
+      EXPECT_EQ(rel, Relationship::kCustomer)
+          << "cable AS must have only customers";
+      ++customers;
+      const Asn other = net.topology.other_end(l, cable);
+      continents.insert(net.world.continent_of_country(
+          net.topology.as_node(other).home_country));
+    }
+    EXPECT_GE(customers, 2);
+    EXPECT_GE(continents.size(), 2u) << "cable must span continents";
+  }
+}
+
+TEST_F(GeneratorTest, SelectivePrefixesRestrictToExistingLinks) {
+  const auto& net = *net_;
+  int selective = 0;
+  net.topology.for_each_as([&](const AsNode& node) {
+    for (const auto& op : node.prefixes) {
+      if (op.announce_only_on.empty()) continue;
+      ++selective;
+      for (LinkId lid : op.announce_only_on) {
+        const auto& links = node.links;
+        EXPECT_NE(std::find(links.begin(), links.end(), lid), links.end());
+      }
+    }
+  });
+  EXPECT_GT(selective, 0);
+}
+
+TEST_F(GeneratorTest, TestbedIsCustomerOfEveryMux) {
+  const auto& net = *net_;
+  ASSERT_EQ(net.testbed_mux_links.size(), net.testbed_muxes.size());
+  for (std::size_t i = 0; i < net.testbed_muxes.size(); ++i) {
+    const Link& l = net.topology.link(net.testbed_mux_links[i]);
+    EXPECT_EQ(net.topology.other_end(l, net.testbed_asn),
+              net.testbed_muxes[i]);
+    EXPECT_EQ(net.topology.relationship_from(l, net.testbed_asn),
+              Relationship::kProvider);
+  }
+}
+
+TEST_F(GeneratorTest, NeighborHistoryCoversAliveLinks) {
+  const auto& net = *net_;
+  net.topology.for_each_link([&](const Link& l) {
+    if (l.born_epoch > net.measurement_epoch) return;
+    const auto seen = net.neighbor_history.last_seen(l.a, l.b);
+    ASSERT_TRUE(seen.has_value());
+    if (net.topology.link_alive(l, net.measurement_epoch))
+      EXPECT_FALSE(
+          net.neighbor_history.is_stale(l.a, l.b, net.measurement_epoch));
+  });
+}
+
+TEST_F(GeneratorTest, ContentCatalogIsServable) {
+  const auto& net = *net_;
+  EXPECT_EQ(net.content.services().size(), 5u);
+  for (const auto& svc : net.content.services()) {
+    EXPECT_GE(svc.hostnames.size(), 2u);
+    EXPECT_NE(svc.origin_asn, 0u);
+    for (const auto& cache : svc.caches) {
+      const AsNode& host = net.topology.as_node(cache.host_asn);
+      bool found = false;
+      for (const auto& op : host.prefixes)
+        if (op.prefix == cache.prefix) found = true;
+      EXPECT_TRUE(found) << "cache prefix not originated by host";
+    }
+  }
+}
+
+TEST_F(GeneratorTest, CollectorsIncludeAllTier1s) {
+  const auto& net = *net_;
+  for (Asn t : net.tier1s)
+    EXPECT_NE(std::find(net.collector_peers.begin(), net.collector_peers.end(),
+                        t),
+              net.collector_peers.end());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = generate_internet(test::small_generator_config(9));
+  const auto b = generate_internet(test::small_generator_config(9));
+  EXPECT_EQ(a->topology.num_ases(), b->topology.num_ases());
+  EXPECT_EQ(a->topology.num_links(), b->topology.num_links());
+  EXPECT_EQ(a->testbed_asn, b->testbed_asn);
+  bool equal_links = true;
+  a->topology.for_each_link([&](const Link& l) {
+    const Link& m = b->topology.link(l.id);
+    if (l.a != m.a || l.b != m.b || l.rel_of_b_from_a != m.rel_of_b_from_a ||
+        l.city != m.city || l.died_epoch != m.died_epoch)
+      equal_links = false;
+  });
+  EXPECT_TRUE(equal_links);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate_internet(test::small_generator_config(1));
+  const auto b = generate_internet(test::small_generator_config(2));
+  bool any_diff = a->topology.num_links() != b->topology.num_links();
+  if (!any_diff) {
+    a->topology.for_each_link([&](const Link& l) {
+      const Link& m = b->topology.link(l.id);
+      if (l.a != m.a || l.b != m.b) any_diff = true;
+    });
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+/// The guaranteed stale link (Netflix/AS3549 analogue) exists: some content
+/// AS had a link that is present in history but dead at measurement time.
+TEST_F(GeneratorTest, AtLeastOneStaleContentLinkExists) {
+  const auto& net = *net_;
+  bool found = false;
+  net.topology.for_each_link([&](const Link& l) {
+    if (net.topology.link_alive(l, net.measurement_epoch)) return;
+    if (l.born_epoch > 0) return;
+    const bool content_side =
+        net.topology.as_node(l.a).type == AsType::kContent ||
+        net.topology.as_node(l.b).type == AsType::kContent;
+    if (content_side) found = true;
+  });
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace irp

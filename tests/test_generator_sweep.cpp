@@ -1,0 +1,118 @@
+// Parameterized sweep: generator invariants must hold across the
+// configuration space, not just at the calibrated default.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "topo/generator.hpp"
+#include "topo/stats.hpp"
+
+namespace irp {
+namespace {
+
+struct SweepCase {
+  const char* name;
+  GeneratorConfig config;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  {
+    SweepCase c{"tiny_world", test::small_generator_config(7)};
+    c.config.world.countries_per_continent = 2;
+    c.config.stubs_per_country = 2;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"no_cables_no_siblings", test::small_generator_config(8)};
+    c.config.cable_count = 0;
+    c.config.sibling_org_prob = 0.0;
+    c.config.content_sibling_prob = 0.0;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"heavy_policy_noise", test::small_generator_config(9)};
+    c.config.te_override_prob = 0.3;
+    c.config.flat_local_pref_prob = 0.3;
+    c.config.domestic_pref_prob = 0.9;
+    c.config.partial_transit_prob = 0.2;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"many_snapshots_much_churn", test::small_generator_config(10)};
+    c.config.num_snapshots = 8;
+    c.config.link_death_prob = 0.15;
+    c.config.link_birth_prob = 0.15;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"single_snapshot", test::small_generator_config(11)};
+    c.config.num_snapshots = 1;
+    cases.push_back(c);
+  }
+  {
+    SweepCase c{"big_core_small_edge", test::small_generator_config(12)};
+    c.config.tier1_count = 10;
+    c.config.large_isps_per_continent = 6;
+    c.config.stubs_per_country = 2;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(GeneratorSweep, CoreInvariantsHold) {
+  const auto net = generate_internet(GetParam().config);
+  const int epoch = net->measurement_epoch;
+
+  // Tier-1s never buy transit; stubs always have one alive provider.
+  for (Asn t : net->tier1s)
+    for (LinkId lid : net->topology.links_of(t))
+      EXPECT_NE(net->topology.relationship_from(net->topology.link(lid), t),
+                Relationship::kProvider);
+  for (Asn stub : net->stubs) {
+    bool provider = false;
+    for (LinkId lid : net->topology.links_of(stub)) {
+      const Link& l = net->topology.link(lid);
+      if (net->topology.link_alive(l, epoch) &&
+          net->topology.relationship_from(l, stub) == Relationship::kProvider)
+        provider = true;
+    }
+    EXPECT_TRUE(provider) << GetParam().name << " stub " << stub;
+  }
+
+  // Whois covers everyone; the testbed is wired to every mux.
+  net->topology.for_each_as(
+      [&](const AsNode& n) { EXPECT_TRUE(net->whois.has(n.asn)); });
+  EXPECT_EQ(net->testbed_mux_links.size(), net->testbed_muxes.size());
+  EXPECT_FALSE(net->collector_peers.empty());
+  EXPECT_FALSE(net->content.services().empty());
+
+  // Structure is sane.
+  const TopologyStats stats = compute_topology_stats(net->topology, epoch);
+  EXPECT_GT(stats.links, stats.ases / 2);
+  EXPECT_GT(stats.stub_share, 0.2);
+}
+
+TEST_P(GeneratorSweep, PassiveStudyRunsAndClassifies) {
+  const auto net = generate_internet(GetParam().config);
+  PassiveStudyConfig passive = test::small_passive_config();
+  passive.probes.platform_probes_per_continent = 30;
+  passive.probes.sample_per_continent = 15;
+  passive.hostnames_per_probe = 4;
+  const PassiveDataset ds = run_passive_study(*net, passive);
+  EXPECT_GT(ds.traceroutes.size(), 50u);
+  EXPECT_GT(ds.decisions.size(), 100u);
+  EXPECT_EQ(ds.snapshots.size(),
+            std::size_t(net->measurement_epoch + 1));
+  EXPECT_GT(ds.inferred.num_links(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, GeneratorSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace irp

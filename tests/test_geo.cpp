@@ -1,0 +1,137 @@
+// Tests for the world model and geolocation database.
+#include <gtest/gtest.h>
+
+#include "geo/geolocation.hpp"
+#include "geo/world.hpp"
+
+namespace irp {
+namespace {
+
+World make_world(int countries = 4, int cities = 3) {
+  WorldConfig config;
+  config.countries_per_continent = countries;
+  config.cities_per_country = cities;
+  config.country_overrides.clear();
+  Rng rng{1};
+  return World::generate(config, rng);
+}
+
+TEST(World, GeneratesRequestedCounts) {
+  const World w = make_world(4, 3);
+  EXPECT_EQ(w.countries().size(), std::size_t(4 * kNumContinents));
+  EXPECT_EQ(w.cities().size(), std::size_t(4 * 3 * kNumContinents));
+  for (Continent c : all_continents())
+    EXPECT_EQ(w.countries_in(c).size(), 4u);
+}
+
+TEST(World, CountryOverridesApply) {
+  WorldConfig config;
+  config.countries_per_continent = 5;
+  config.country_overrides = {{Continent::kNorthAmerica, 2}};
+  Rng rng{2};
+  const World w = World::generate(config, rng);
+  EXPECT_EQ(w.countries_in(Continent::kNorthAmerica).size(), 2u);
+  EXPECT_EQ(w.countries_in(Continent::kEurope).size(), 5u);
+}
+
+TEST(World, CityCountryContinentLinkage) {
+  const World w = make_world();
+  for (const City& city : w.cities()) {
+    const Country& country = w.country(city.country);
+    EXPECT_EQ(w.continent_of_city(city.id), country.continent);
+    const auto& cities = w.cities_in(country.id);
+    EXPECT_NE(std::find(cities.begin(), cities.end(), city.id), cities.end());
+  }
+}
+
+TEST(World, DistanceIsSymmetricAndZeroOnSelf) {
+  const World w = make_world();
+  const CityId a = w.cities()[0].id;
+  const CityId b = w.cities()[10].id;
+  EXPECT_DOUBLE_EQ(w.distance_km(a, b), w.distance_km(b, a));
+  EXPECT_DOUBLE_EQ(w.distance_km(a, a), 0.0);
+  EXPECT_GT(w.distance_km(a, b), 0.0);
+}
+
+TEST(World, IntercontinentalFartherThanLocal) {
+  const World w = make_world();
+  const CountryId eu = w.countries_in(Continent::kEurope)[0];
+  const CountryId oc = w.countries_in(Continent::kOceania)[0];
+  const CityId eu0 = w.cities_in(eu)[0];
+  const CityId eu1 = w.cities_in(eu)[1];
+  const CityId oc0 = w.cities_in(oc)[0];
+  EXPECT_GT(w.distance_km(eu0, oc0), w.distance_km(eu0, eu1));
+}
+
+TEST(World, GreatCircleKnownValues) {
+  // Equator quarter turn ~ 10007 km.
+  EXPECT_NEAR(great_circle_km(0, 0, 0, 90), 10007.5, 10.0);
+  EXPECT_NEAR(great_circle_km(0, 0, 0, 0), 0.0, 1e-9);
+  // Pole to pole ~ 20015 km.
+  EXPECT_NEAR(great_circle_km(90, 0, -90, 0), 20015.0, 20.0);
+}
+
+TEST(World, ContinentNamesAndCodes) {
+  EXPECT_EQ(continent_code(Continent::kEurope), "EU");
+  EXPECT_EQ(continent_name(Continent::kNorthAmerica), "N. America");
+  EXPECT_EQ(all_continents().size(), std::size_t(kNumContinents));
+}
+
+TEST(GeoDatabase, ExactLookupWithoutErrors) {
+  const World w = make_world();
+  GeoDatabase db{&w, 0.0, Rng{3}};
+  const CityId city = w.cities()[5].id;
+  const auto prefix = *Ipv4Prefix::parse("10.0.0.0/24");
+  db.register_prefix(prefix, city);
+  EXPECT_EQ(db.locate_city(prefix.address_at(7)), city);
+  EXPECT_EQ(db.locate_country(prefix.address_at(7)), w.city(city).country);
+  EXPECT_EQ(db.locate_continent(prefix.address_at(7)),
+            w.continent_of_city(city));
+  EXPECT_EQ(db.errors_injected(), 0u);
+}
+
+TEST(GeoDatabase, UnknownAddressIsNullopt) {
+  const World w = make_world();
+  GeoDatabase db{&w, 0.0, Rng{3}};
+  EXPECT_EQ(db.locate_city(*Ipv4Addr::parse("203.0.113.1")), std::nullopt);
+}
+
+TEST(GeoDatabase, ErrorsStayOnContinent) {
+  const World w = make_world();
+  GeoDatabase db{&w, 1.0, Rng{4}};  // Every registration is perturbed.
+  const CityId truth = w.cities_in(w.countries_in(Continent::kAsia)[0])[0];
+  for (int i = 0; i < 30; ++i) {
+    const Ipv4Prefix p{Ipv4Addr(10, 0, std::uint8_t(i), 0), 24};
+    db.register_prefix(p, truth);
+    const auto located = db.locate_continent(p.address_at(1));
+    ASSERT_TRUE(located.has_value());
+    EXPECT_EQ(*located, Continent::kAsia);  // Continent survives the error.
+  }
+}
+
+TEST(GeoDatabase, ErrorRateApproximatelyRespected) {
+  const World w = make_world(8, 3);
+  GeoDatabase db{&w, 0.25, Rng{5}};
+  const CityId truth = w.cities()[0].id;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Ipv4Prefix p{
+        Ipv4Addr{static_cast<std::uint32_t>(0x0A000000u + i * 256)}, 24};
+    db.register_prefix(p, truth);
+  }
+  // errors_injected only counts registrations whose recorded city actually
+  // changed; a same-continent redraw can land on the truth, so the rate is
+  // slightly under 0.25.
+  const double rate = double(db.errors_injected()) / n;
+  EXPECT_GT(rate, 0.15);
+  EXPECT_LT(rate, 0.30);
+}
+
+TEST(GeoDatabase, RejectsInvalidErrorRate) {
+  const World w = make_world();
+  EXPECT_THROW((GeoDatabase{&w, 1.5, Rng{6}}), CheckError);
+  EXPECT_THROW((GeoDatabase{&w, -0.1, Rng{6}}), CheckError);
+}
+
+}  // namespace
+}  // namespace irp

@@ -1,0 +1,174 @@
+// Tests for IPv4 addresses, prefixes, the LPM trie, and the address plan.
+#include <gtest/gtest.h>
+
+#include "net/address_plan.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace irp {
+namespace {
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d",
+                          "1..2.3", "1.2.3.-4", "01x.2.3.4"})
+    EXPECT_FALSE(Ipv4Addr::parse(bad).has_value()) << bad;
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1), *Ipv4Addr::parse("10.0.0.1"));
+}
+
+/// Round-trip property sweep over representative addresses.
+class Ipv4RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4RoundTrip, ParseFormatRoundTrips) {
+  const auto a = Ipv4Addr::parse(GetParam());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Ipv4RoundTrip,
+                         ::testing::Values("0.0.0.0", "255.255.255.255",
+                                           "10.1.2.3", "172.16.254.1",
+                                           "1.0.0.0", "127.0.0.1"));
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p{Ipv4Addr(10, 1, 2, 3), 16};
+  EXPECT_EQ(p.network(), Ipv4Addr(10, 1, 0, 0));
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, ParseAndValidate) {
+  const auto p = Ipv4Prefix::parse("192.0.2.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("192.0.2.0/-1").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("bogus/8").has_value());
+}
+
+TEST(Ipv4Prefix, ContainsAddressesAndPrefixes) {
+  const Ipv4Prefix p{Ipv4Addr(10, 0, 0, 0), 8};
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 200, 1, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 0, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Prefix{Ipv4Addr(10, 3, 0, 0), 16}));
+  EXPECT_FALSE(p.contains(Ipv4Prefix{Ipv4Addr(0, 0, 0, 0), 0}));
+}
+
+TEST(Ipv4Prefix, SizeNetmaskAddressAt) {
+  const Ipv4Prefix p{Ipv4Addr(192, 0, 2, 0), 24};
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.netmask(), Ipv4Addr(255, 255, 255, 0));
+  EXPECT_EQ(p.address_at(0), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.address_at(255), Ipv4Addr(192, 0, 2, 255));
+  EXPECT_THROW(p.address_at(256), CheckError);
+}
+
+TEST(Ipv4Prefix, SplitHalves) {
+  const Ipv4Prefix p{Ipv4Addr(10, 0, 0, 0), 8};
+  const auto [lo, hi] = p.split();
+  EXPECT_EQ(lo.to_string(), "10.0.0.0/9");
+  EXPECT_EQ(hi.to_string(), "10.128.0.0/9");
+  EXPECT_TRUE(p.contains(lo) && p.contains(hi));
+  EXPECT_THROW((Ipv4Prefix{Ipv4Addr(1, 2, 3, 4), 32}.split()), CheckError);
+}
+
+TEST(PrefixTrie, LongestPrefixMatchWins) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.lookup(*Ipv4Addr::parse("10.1.2.3")), 3);
+  EXPECT_EQ(trie.lookup(*Ipv4Addr::parse("10.1.9.9")), 2);
+  EXPECT_EQ(trie.lookup(*Ipv4Addr::parse("10.9.9.9")), 1);
+  EXPECT_EQ(trie.lookup(*Ipv4Addr::parse("11.0.0.1")), std::nullopt);
+}
+
+TEST(PrefixTrie, ExactAndDefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix{Ipv4Addr{}, 0}, 99);  // Default route.
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.lookup(*Ipv4Addr::parse("8.8.8.8")), 99);
+  EXPECT_EQ(trie.exact(*Ipv4Prefix::parse("10.0.0.0/8")), 1);
+  EXPECT_EQ(trie.exact(*Ipv4Prefix::parse("10.0.0.0/9")), std::nullopt);
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("192.168.0.0/16"), 2);
+  int visits = 0;
+  trie.for_each([&](const Ipv4Prefix& p, int v) {
+    ++visits;
+    EXPECT_EQ(trie.exact(p), v);
+  });
+  EXPECT_EQ(visits, 2);
+}
+
+/// Property: against a brute-force linear scan, the trie agrees on random
+/// data.
+TEST(PrefixTrie, MatchesBruteForceOnRandomData) {
+  Rng rng{77};
+  std::vector<std::pair<Ipv4Prefix, int>> entries;
+  PrefixTrie<int> trie;
+  for (int i = 0; i < 200; ++i) {
+    const int len = rng.uniform_int(4, 28);
+    const Ipv4Prefix p{Ipv4Addr{static_cast<std::uint32_t>(rng.next())}, len};
+    if (trie.exact(p).has_value()) continue;
+    trie.insert(p, i);
+    entries.emplace_back(p, i);
+  }
+  for (int q = 0; q < 2000; ++q) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng.next())};
+    std::optional<int> expect;
+    int best_len = -1;
+    for (const auto& [p, v] : entries)
+      if (p.contains(addr) && p.length() > best_len) {
+        best_len = p.length();
+        expect = v;
+      }
+    EXPECT_EQ(trie.lookup(addr), expect);
+  }
+}
+
+TEST(AddressPlan, AllocationsAreDisjointAndCovered) {
+  AddressPlan plan{*Ipv4Prefix::parse("10.0.0.0/8")};
+  Rng rng{5};
+  std::vector<Ipv4Prefix> allocated;
+  for (int i = 0; i < 300; ++i)
+    allocated.push_back(plan.allocate(rng.uniform_int(20, 26)));
+  for (std::size_t i = 0; i < allocated.size(); ++i) {
+    EXPECT_TRUE(plan.pool().contains(allocated[i]));
+    for (std::size_t j = i + 1; j < allocated.size(); ++j) {
+      EXPECT_FALSE(allocated[i].contains(allocated[j]))
+          << allocated[i].to_string() << " overlaps "
+          << allocated[j].to_string();
+      EXPECT_FALSE(allocated[j].contains(allocated[i]));
+    }
+  }
+}
+
+TEST(AddressPlan, ExhaustionThrows) {
+  AddressPlan plan{*Ipv4Prefix::parse("10.0.0.0/24")};
+  plan.allocate(25);
+  plan.allocate(25);
+  EXPECT_THROW(plan.allocate(25), CheckError);
+}
+
+TEST(AddressPlan, RejectsOutOfRangeLength) {
+  AddressPlan plan{*Ipv4Prefix::parse("10.0.0.0/16")};
+  EXPECT_THROW(plan.allocate(8), CheckError);  // Bigger than the pool.
+}
+
+}  // namespace
+}  // namespace irp

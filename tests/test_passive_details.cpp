@@ -1,0 +1,140 @@
+// Campaign-level details of the passive study: dataset invariants the
+// integration suite does not cover.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/analysis.hpp"
+#include "core/passive_study.hpp"
+#include "test_support.hpp"
+
+namespace irp {
+namespace {
+
+class PassiveDetails : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = generate_internet(test::small_generator_config()).release();
+    ds_ = new PassiveDataset(
+        run_passive_study(*net_, test::small_passive_config()));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    delete net_;
+    ds_ = nullptr;
+    net_ = nullptr;
+  }
+  static const GeneratedInternet* net_;
+  static const PassiveDataset* ds_;
+};
+const GeneratedInternet* PassiveDetails::net_ = nullptr;
+const PassiveDataset* PassiveDetails::ds_ = nullptr;
+
+TEST_F(PassiveDetails, DestinationAsesExceedContentProviders) {
+  // Off-net caches inflate the destination set beyond the provider count —
+  // the paper's 14 providers vs 218 destination ASes.
+  EXPECT_GT(ds_->num_destination_ases, net_->content.services().size());
+}
+
+TEST_F(PassiveDetails, CorpusCoversAllSnapshots) {
+  const auto epochs = ds_->corpus.epochs();
+  ASSERT_EQ(epochs.size(), std::size_t(net_->measurement_epoch + 1));
+  for (int e = 0; e <= net_->measurement_epoch; ++e) {
+    EXPECT_EQ(epochs[std::size_t(e)], e);
+    EXPECT_GT(ds_->corpus.paths(e).size(), 100u);
+  }
+}
+
+TEST_F(PassiveDetails, ObservationsAgreeWithFeeds) {
+  // Every (origin, neighbor, prefix) the observations report must appear as
+  // the tail of some measurement feed path.
+  std::set<std::tuple<Asn, Asn, Ipv4Prefix>> tails;
+  for (const FeedEntry& e : ds_->measurement_feed) {
+    if (e.path.hops.size() < 2) continue;
+    tails.insert({e.path.hops.back(), e.path.hops[e.path.hops.size() - 2],
+                  e.prefix});
+  }
+  for (const auto& [origin, neighbor, prefix] : tails)
+    EXPECT_TRUE(ds_->observations.announced(origin, neighbor, prefix));
+}
+
+TEST_F(PassiveDetails, SelectivePrefixesAreSelectivelyVisible) {
+  // For at least one selective prefix, the feeds must show strictly fewer
+  // origin-neighbors than for the origin's ordinary prefixes.
+  bool found_case = false;
+  net_->topology.for_each_as([&](const AsNode& node) {
+    const OriginatedPrefix* selective = nullptr;
+    const OriginatedPrefix* ordinary = nullptr;
+    for (const auto& op : node.prefixes) {
+      if (!op.announce_only_on.empty())
+        selective = &op;
+      else if (op.prepend_on.empty())
+        ordinary = &op;
+    }
+    if (selective == nullptr || ordinary == nullptr) return;
+    const auto sel_nbrs =
+        ds_->observations.neighbors_for(node.asn, selective->prefix);
+    const auto ord_nbrs =
+        ds_->observations.neighbors_for(node.asn, ordinary->prefix);
+    if (ord_nbrs.empty()) return;  // Origin not visible at all.
+    if (sel_nbrs.size() < ord_nbrs.size()) found_case = true;
+  });
+  EXPECT_TRUE(found_case);
+}
+
+TEST_F(PassiveDetails, InterconnectCitiesAreMostlyGeolocated) {
+  std::size_t with_city = 0;
+  for (const auto& d : ds_->decisions)
+    if (d.interconnect_city.has_value()) ++with_city;
+  EXPECT_GT(double(with_city) / double(ds_->decisions.size()), 0.7);
+}
+
+TEST_F(PassiveDetails, StudyIsDeterministic) {
+  const auto net2 = generate_internet(test::small_generator_config());
+  const auto ds2 = run_passive_study(*net2, test::small_passive_config());
+  EXPECT_EQ(ds2.decisions.size(), ds_->decisions.size());
+  EXPECT_EQ(ds2.traceroutes.size(), ds_->traceroutes.size());
+  EXPECT_EQ(ds2.inferred.num_links(), ds_->inferred.num_links());
+  EXPECT_EQ(ds2.num_destination_ases, ds_->num_destination_ases);
+  // Spot-check decision equality.
+  for (std::size_t i = 0; i < ds2.decisions.size(); i += 97) {
+    EXPECT_EQ(ds2.decisions[i].decider, ds_->decisions[i].decider);
+    EXPECT_EQ(ds2.decisions[i].next_hop, ds_->decisions[i].next_hop);
+    EXPECT_EQ(ds2.decisions[i].dst_prefix, ds_->decisions[i].dst_prefix);
+  }
+}
+
+TEST_F(PassiveDetails, HostnameRotationCoversCatalog) {
+  std::set<std::string> measured;
+  for (const auto& tr : ds_->traceroutes) measured.insert(tr.hostname);
+  // Every hostname of the catalog is measured by someone.
+  for (const auto& svc : net_->content.services())
+    for (const auto& h : svc.hostnames)
+      EXPECT_TRUE(measured.count(h.name)) << h.name;
+}
+
+TEST_F(PassiveDetails, TracerouteHopsHoldTruthAnnotations) {
+  for (const auto& tr : ds_->traceroutes) {
+    for (std::size_t i = 0; i + 1 < tr.hops.size(); ++i)
+      EXPECT_NE(tr.hops[i].truth_asn, 0u);
+    if (tr.reached) {
+      ASSERT_FALSE(tr.hops.empty());
+      EXPECT_EQ(tr.hops.back().address, tr.dst_address);
+    }
+  }
+}
+
+TEST_F(PassiveDetails, GeolocationOfTraceroutesIsConsistent) {
+  const auto geos = geolocate_traceroutes(*ds_, *net_);
+  ASSERT_EQ(geos.size(), ds_->traceroutes.size());
+  for (const auto& g : geos) {
+    if (!g.single_country) continue;
+    // A single-country traceroute is necessarily single-continent.
+    ASSERT_TRUE(g.single_continent.has_value());
+    EXPECT_EQ(*g.single_continent,
+              net_->world.continent_of_country(*g.single_country));
+  }
+}
+
+}  // namespace
+}  // namespace irp

@@ -1,0 +1,207 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace irp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a{7};
+  const auto first = a.next();
+  a.reseed(7);
+  EXPECT_EQ(first, a.next());
+}
+
+TEST(Rng, UniformIntHonorsBounds) {
+  Rng rng{11};
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(-3, 4);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // All values hit.
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng{11};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng{11};
+  EXPECT_THROW(rng.uniform_int(2, 1), CheckError);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng{13};
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanIsCentered) {
+  Rng rng{17};
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{19};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng{23};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{29};
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng{31};
+  double sum = 0, sq = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{37};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng{41};
+  const auto sample = rng.sample_indices(50, 20);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (auto i : sample) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng{43};
+  const auto sample = rng.sample_indices(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng{43};
+  EXPECT_THROW(rng.sample_indices(3, 4), CheckError);
+}
+
+TEST(Rng, ZipfRankZeroMostPopular) {
+  Rng rng{47};
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  for (const auto& [rank, _] : counts) EXPECT_LT(rank, 10u);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniformish) {
+  Rng rng{53};
+  std::map<std::size_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.zipf(5, 0.0)];
+  for (int r = 0; r < 5; ++r)
+    EXPECT_NEAR(double(counts[r]) / n, 0.2, 0.03);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent{59};
+  Rng child = parent.fork();
+  // The child's stream must differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next() == child.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng{61};
+  const std::vector<int> v{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.pick(v));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, PickFromEmptyThrows) {
+  Rng rng{61};
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), CheckError);
+}
+
+/// Property sweep: uniform_u64 respects arbitrary bounds.
+class RngBoundsTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(RngBoundsTest, InclusiveBoundsHold) {
+  const auto [lo, hi] = GetParam();
+  Rng rng{lo ^ (hi << 1) ^ 0xabcdef};
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_u64(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RngBoundsTest,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 7},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 1000000},
+                      std::pair<std::uint64_t, std::uint64_t>{1ull << 62,
+                                                              (1ull << 62) + 9},
+                      std::pair<std::uint64_t, std::uint64_t>{
+                          0, ~std::uint64_t{0}}));
+
+}  // namespace
+}  // namespace irp

@@ -1,0 +1,88 @@
+// Shared helpers for the test suite: small, fast configurations and
+// hand-built topologies.
+#pragma once
+
+#include "bgp/engine.hpp"
+#include "bgp/policy.hpp"
+#include "core/passive_study.hpp"
+#include "topo/generator.hpp"
+
+namespace irp::test {
+
+/// A small, fast generator configuration for integration tests.
+inline GeneratorConfig small_generator_config(std::uint64_t seed = 42) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.world.countries_per_continent = 3;
+  config.world.cities_per_country = 2;
+  config.world.country_overrides = {{Continent::kNorthAmerica, 2}};
+  config.tier1_count = 6;
+  config.large_isps_per_continent = 3;
+  config.education_per_continent = 1;
+  config.small_isps_per_country = 1;
+  config.stubs_per_country = 4;
+  config.content_orgs = 5;
+  config.cable_count = 3;
+  config.hybrid_pair_count = 3;
+  return config;
+}
+
+/// A small passive-study configuration to match.
+inline PassiveStudyConfig small_passive_config() {
+  PassiveStudyConfig config;
+  config.probes.platform_probes_per_continent = 60;
+  config.probes.sample_per_continent = 30;
+  config.hostnames_per_probe = 6;
+  return config;
+}
+
+/// Builder for tiny hand-made topologies used by BGP/GR unit tests.
+///
+/// ASNs are assigned in the order of add() calls, starting at 1. Every AS
+/// gets one PoP in city 0 and one /24 prefix derived from its ASN, so
+/// engines and traceroutes work without a full generator run.
+class TinyTopo {
+ public:
+  /// Adds `n` ASes; returns the first new ASN.
+  Asn add(int n = 1) {
+    Asn first = 0;
+    for (int i = 0; i < n; ++i) {
+      AsNode node;
+      node.type = AsType::kStub;
+      node.org = static_cast<OrgId>(topo.num_ases() + 1);
+      node.home_country = 0;
+      PointOfPresence pop;
+      pop.city = 0;
+      pop.router_prefix =
+          Ipv4Prefix{Ipv4Addr{10, 0, std::uint8_t(topo.num_ases() + 1), 0}, 24};
+      node.pops.push_back(pop);
+      OriginatedPrefix op;
+      op.prefix = Ipv4Prefix{
+          Ipv4Addr{172, 16, std::uint8_t(topo.num_ases() + 1), 0}, 24};
+      node.prefixes.push_back(op);
+      const Asn asn = topo.add_as(std::move(node));
+      if (first == 0) first = asn;
+    }
+    return first;
+  }
+
+  /// Adds a link; `rel` is the role of `b` from `a`'s perspective.
+  LinkId link(Asn a, Asn b, Relationship rel, int igp_a = 1, int igp_b = 1) {
+    Link l;
+    l.a = a;
+    l.b = b;
+    l.rel_of_b_from_a = rel;
+    l.igp_cost_a = igp_a;
+    l.igp_cost_b = igp_b;
+    return topo.add_link(l);
+  }
+
+  /// The announced prefix of an AS.
+  Ipv4Prefix prefix_of(Asn asn) const {
+    return topo.as_node(asn).prefixes.front().prefix;
+  }
+
+  Topology topo;
+};
+
+}  // namespace irp::test

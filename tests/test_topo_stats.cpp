@@ -1,0 +1,72 @@
+// Tests for topology statistics and the generated Internet's shape.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "topo/generator.hpp"
+#include "topo/stats.hpp"
+
+namespace irp {
+namespace {
+
+TEST(TopoStats, HandBuiltChain) {
+  test::TinyTopo t;
+  const Asn top = t.add();
+  const Asn mid = t.add();
+  const Asn leaf = t.add();
+  t.link(top, mid, Relationship::kCustomer);
+  t.link(mid, leaf, Relationship::kCustomer);
+  const TopologyStats s = compute_topology_stats(t.topo, 0);
+  EXPECT_EQ(s.ases, 3u);
+  EXPECT_EQ(s.links, 2u);
+  EXPECT_EQ(s.c2p_links, 2u);
+  EXPECT_EQ(s.p2p_links, 0u);
+  EXPECT_NEAR(s.avg_degree, 4.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.max_degree, 2u);
+  // Only the leaf is a stub.
+  EXPECT_NEAR(s.stub_share, 1.0 / 3.0, 1e-9);
+  ASSERT_FALSE(s.top_cones.empty());
+  EXPECT_EQ(s.top_cones[0], 3u);  // top's cone covers everyone.
+  EXPECT_NEAR(s.avg_hierarchy_depth, 2.0, 1e-9);  // leaf -> mid -> top.
+}
+
+TEST(TopoStats, EpochFiltersLinks) {
+  test::TinyTopo t;
+  const Asn a = t.add();
+  const Asn b = t.add();
+  const LinkId l = t.link(a, b, Relationship::kPeer);
+  t.topo.link_mutable(l).died_epoch = 1;
+  EXPECT_EQ(compute_topology_stats(t.topo, 0).links, 1u);
+  EXPECT_EQ(compute_topology_stats(t.topo, 1).links, 0u);
+}
+
+TEST(TopoStats, GeneratedInternetHasInternetShape) {
+  const auto net = generate_internet(test::small_generator_config());
+  const TopologyStats s =
+      compute_topology_stats(net->topology, net->measurement_epoch);
+
+  // Most ASes are stubs.
+  EXPECT_GT(s.stub_share, 0.4);
+  // A heavy tail exists: the maximum degree is far above the average.
+  EXPECT_GT(double(s.max_degree), 4.0 * s.avg_degree);
+  // The biggest customer cones belong to the core and cover a large part
+  // of the topology.
+  ASSERT_GE(s.top_cones.size(), 3u);
+  EXPECT_GT(s.top_cones[0], net->topology.num_ases() / 4);
+  // Peering is a substantial share of links (edge IXP meshes, clique).
+  EXPECT_GT(s.p2p_links, s.links / 10);
+  // Transit hierarchy is shallow, as on the Internet.
+  EXPECT_GT(s.avg_hierarchy_depth, 1.0);
+  EXPECT_LT(s.avg_hierarchy_depth, 6.0);
+}
+
+TEST(TopoStats, DegreeHistogramSumsToAses) {
+  const auto net = generate_internet(test::small_generator_config());
+  const TopologyStats s =
+      compute_topology_stats(net->topology, net->measurement_epoch);
+  std::size_t total = 0;
+  for (const auto& [deg, count] : s.degree_histogram) total += count;
+  EXPECT_EQ(total, s.ases);
+}
+
+}  // namespace
+}  // namespace irp

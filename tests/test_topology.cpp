@@ -1,0 +1,153 @@
+// Tests for the topology container and registries.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "topo/registry.hpp"
+#include "topo/topology.hpp"
+
+namespace irp {
+namespace {
+
+TEST(Relationship, ReverseIsInvolution) {
+  for (Relationship r : {Relationship::kCustomer, Relationship::kPeer,
+                         Relationship::kProvider, Relationship::kSibling})
+    EXPECT_EQ(reverse(reverse(r)), r);
+  EXPECT_EQ(reverse(Relationship::kCustomer), Relationship::kProvider);
+  EXPECT_EQ(reverse(Relationship::kPeer), Relationship::kPeer);
+}
+
+TEST(Relationship, PreferenceClasses) {
+  EXPECT_EQ(preference_class(Relationship::kCustomer), 0);
+  EXPECT_EQ(preference_class(Relationship::kSibling), 0);
+  EXPECT_EQ(preference_class(Relationship::kPeer), 1);
+  EXPECT_EQ(preference_class(Relationship::kProvider), 2);
+}
+
+TEST(Topology, AdjacencyAndPerspective) {
+  test::TinyTopo t;
+  const Asn a = t.add();
+  const Asn b = t.add();
+  const LinkId l = t.link(a, b, Relationship::kCustomer);  // b is a's customer.
+  const Link& link = t.topo.link(l);
+  EXPECT_EQ(t.topo.other_end(link, a), b);
+  EXPECT_EQ(t.topo.other_end(link, b), a);
+  EXPECT_EQ(t.topo.relationship_from(link, a), Relationship::kCustomer);
+  EXPECT_EQ(t.topo.relationship_from(link, b), Relationship::kProvider);
+  EXPECT_EQ(t.topo.links_of(a).size(), 1u);
+  EXPECT_EQ(t.topo.links_of(b).size(), 1u);
+}
+
+TEST(Topology, RejectsSelfLinksAndBadAsns) {
+  test::TinyTopo t;
+  const Asn a = t.add();
+  EXPECT_THROW(t.link(a, a, Relationship::kPeer), CheckError);
+  Link bad;
+  bad.a = a;
+  bad.b = 99;
+  EXPECT_THROW(t.topo.add_link(bad), CheckError);
+  EXPECT_THROW(t.topo.as_node(0), CheckError);
+  EXPECT_THROW(t.topo.as_node(99), CheckError);
+}
+
+TEST(Topology, LinksBetweenFindsParallelLinks) {
+  test::TinyTopo t;
+  const Asn a = t.add();
+  const Asn b = t.add();
+  t.link(a, b, Relationship::kPeer);
+  t.link(a, b, Relationship::kCustomer);  // Hybrid pair.
+  EXPECT_EQ(t.topo.links_between(a, b).size(), 2u);
+  EXPECT_EQ(t.topo.links_between(b, a).size(), 2u);
+}
+
+TEST(Topology, CustomerConeFollowsAliveLinks) {
+  test::TinyTopo t;
+  const Asn top = t.add();
+  const Asn mid = t.add();
+  const Asn leaf1 = t.add();
+  const Asn leaf2 = t.add();
+  t.link(top, mid, Relationship::kCustomer);
+  t.link(mid, leaf1, Relationship::kCustomer);
+  const LinkId dying = t.link(mid, leaf2, Relationship::kCustomer);
+  t.topo.link_mutable(dying).died_epoch = 2;
+
+  EXPECT_EQ(t.topo.customer_cone_size(top, 0), 4u);
+  EXPECT_EQ(t.topo.customer_cone_size(top, 2), 3u);  // leaf2 link dead.
+  EXPECT_EQ(t.topo.customer_cone_size(leaf1, 0), 1u);
+}
+
+TEST(Topology, OrgGrouping) {
+  test::TinyTopo t;
+  const Asn a = t.add();
+  const Asn b = t.add();
+  t.topo.as_node_mutable(b).org = t.topo.as_node(a).org;
+  // Orgs are registered at add time; rebuild a fresh topology instead.
+  Topology topo;
+  AsNode n1;
+  n1.org = 7;
+  n1.pops.push_back({});
+  AsNode n2;
+  n2.org = 7;
+  n2.pops.push_back({});
+  const Asn x = topo.add_as(std::move(n1));
+  const Asn y = topo.add_as(std::move(n2));
+  EXPECT_TRUE(topo.same_org(x, y));
+  EXPECT_EQ(topo.ases_of_org(7).size(), 2u);
+  EXPECT_TRUE(topo.ases_of_org(99).empty());
+}
+
+TEST(Registry, WhoisStoresAndThrowsOnMissing) {
+  WhoisDb db;
+  db.add({.asn = 5, .org_name = "five", .email_domain = "five.net",
+          .country_code = "e0", .rir = "RIR-EU"});
+  EXPECT_TRUE(db.has(5));
+  EXPECT_EQ(db.record(5).org_name, "five");
+  EXPECT_FALSE(db.has(6));
+  EXPECT_THROW(db.record(6), CheckError);
+  EXPECT_THROW(db.add(WhoisRecord{}), CheckError);  // ASN 0.
+}
+
+TEST(Registry, SoaDefaultsToIdentity) {
+  DnsSoaDb soa;
+  soa.add("dish.example", "dish-dns.example");
+  EXPECT_EQ(soa.soa_of("dish.example"), "dish-dns.example");
+  EXPECT_EQ(soa.soa_of("unknown.example"), "unknown.example");
+}
+
+TEST(Registry, CableRegistryOperators) {
+  CableRegistry reg;
+  reg.add({"cable-a", 10});
+  reg.add({"cable-b", 0});  // Consortium cable, no dedicated ASN.
+  reg.add({"cable-c", 10});  // Same operator twice.
+  EXPECT_EQ(reg.operator_asns(), std::vector<Asn>{10});
+  EXPECT_TRUE(reg.is_cable_operator(10));
+  EXPECT_FALSE(reg.is_cable_operator(0));
+  EXPECT_FALSE(reg.is_cable_operator(11));
+}
+
+TEST(Registry, NeighborHistoryStaleness) {
+  NeighborHistoryDb db;
+  db.record(1, 2, 0);
+  db.record(2, 1, 2);  // Unordered: same pair, later epoch wins.
+  EXPECT_EQ(db.last_seen(1, 2), 2);
+  EXPECT_EQ(db.last_seen(2, 1), 2);
+  EXPECT_FALSE(db.is_stale(1, 2, 2));
+  EXPECT_TRUE(db.is_stale(1, 2, 4));
+  EXPECT_FALSE(db.is_stale(3, 4, 4));  // Never seen: not "stale".
+}
+
+TEST(Registry, ContentCatalogLookup) {
+  ContentCatalog catalog;
+  ContentService svc;
+  svc.org_name = "cdn";
+  svc.origin_asn = 42;
+  svc.hostnames.push_back({"www.cdn.example", {}, false});
+  svc.hostnames.push_back({"video.cdn.example", {}, true});
+  catalog.add(svc);
+  EXPECT_EQ(catalog.num_hostnames(), 2u);
+  ASSERT_NE(catalog.service_for("video.cdn.example"), nullptr);
+  EXPECT_EQ(catalog.service_for("video.cdn.example")->origin_asn, 42u);
+  EXPECT_EQ(catalog.service_for("nope.example"), nullptr);
+}
+
+}  // namespace
+}  // namespace irp

@@ -1,0 +1,116 @@
+// Tests for strings, tables, and statistics helpers.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace irp {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ","), "a,b,c");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, TrimRemovesWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, CaseAndAffixes) {
+  EXPECT_EQ(to_lower("RIR-EU"), "rir-eu");
+  EXPECT_TRUE(starts_with("rir-eu.example", "rir-"));
+  EXPECT_FALSE(starts_with("eu", "rir-"));
+  EXPECT_TRUE(ends_with("dish.com", ".com"));
+  EXPECT_FALSE(ends_with("c", ".com"));
+}
+
+TEST(Strings, PercentFormatting) {
+  EXPECT_EQ(percent(0.343), "34.3%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t{{"Name", "Count"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t{{"A", "B"}};
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Counter, SharesAndOrdering) {
+  Counter<std::string> c;
+  c.add("x", 3);
+  c.add("y");
+  c.add("x");
+  EXPECT_EQ(c.total(), 5u);
+  EXPECT_EQ(c.count("x"), 4u);
+  EXPECT_DOUBLE_EQ(c.share("x"), 0.8);
+  EXPECT_DOUBLE_EQ(c.share("missing"), 0.0);
+  const auto sorted = c.sorted_desc();
+  EXPECT_EQ(sorted.front().first, "x");
+}
+
+TEST(Stats, RankedCdfIsMonotoneAndEndsAtOne) {
+  const auto cdf = ranked_cdf({5, 1, 3, 1});
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].cumulative, cdf[i - 1].cumulative);
+    EXPECT_EQ(cdf[i].rank, i + 1);
+  }
+  // Largest contributor first: 5/10.
+  EXPECT_DOUBLE_EQ(cdf.front().cumulative, 0.5);
+}
+
+TEST(Stats, RankedCdfEmptyInput) {
+  EXPECT_TRUE(ranked_cdf({}).empty());
+}
+
+TEST(Stats, MeanAndPercentile) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_THROW(percentile({}, 50), CheckError);
+}
+
+TEST(Stats, GiniExtremes) {
+  // Perfectly even distribution -> 0.
+  EXPECT_NEAR(gini({1, 1, 1, 1}), 0.0, 1e-9);
+  // Fully concentrated -> (n-1)/n.
+  EXPECT_NEAR(gini({0, 0, 0, 10}), 0.75, 1e-9);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini({5}), 0.0);
+  EXPECT_DOUBLE_EQ(gini({0, 0}), 0.0);
+}
+
+TEST(Stats, GiniRejectsNegative) {
+  EXPECT_THROW(gini({1, -1}), CheckError);
+}
+
+}  // namespace
+}  // namespace irp
