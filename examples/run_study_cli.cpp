@@ -2,11 +2,13 @@
 // parameters and export every artifact (text tables, CSV data series,
 // topology snapshots, CAIDA-format relationship dumps).
 //
-//   run_study_cli [--seed N] [--scale N] [--out DIR] [--no-active]
-//                 [--save-topology FILE] [--caida-out FILE]
+//   run_study_cli [--seed N] [--scale N] [--threads N] [--out DIR]
+//                 [--no-active] [--save-topology FILE] [--caida-out FILE]
 //
 // --scale multiplies the edge population (stubs and access ISPs); the
-// default (1) matches the paper-calibrated configuration.
+// default (1) matches the paper-calibrated configuration. --threads runs
+// the parallel passive-study phases on N threads (0 = hardware count,
+// default 1 = serial); results are byte-identical at any thread count.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,8 +27,9 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed N] [--scale N] [--out DIR] [--no-active]\n"
-               "          [--save-topology FILE] [--caida-out FILE]\n",
+               "usage: %s [--seed N] [--scale N] [--threads N] [--out DIR]\n"
+               "          [--no-active] [--save-topology FILE]\n"
+               "          [--caida-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -50,6 +53,8 @@ int main(int argc, char** argv) {
       config.generator.seed = std::strtoull(next(), nullptr, 10);
     else if (arg == "--scale")
       scale = std::atoi(next());
+    else if (arg == "--threads")
+      config.passive.parallel.threads = std::atoi(next());
     else if (arg == "--out")
       out_dir = next();
     else if (arg == "--no-active")

@@ -1,6 +1,7 @@
 #include "core/classify.hpp"
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace irp {
 
@@ -31,41 +32,79 @@ DecisionClassifier::DecisionClassifier(const InferredTopology* topo,
   IRP_CHECK(topo_ != nullptr, "classifier requires an inferred topology");
 }
 
-const GrPathSet& DecisionClassifier::path_set(
+DecisionClassifier::CacheKey DecisionClassifier::cache_key(
     const RouteDecision& d, const ScenarioOptions& opts) const {
   // The PSP filter only constrains edges incident to the destination, and
-  // depends on (origin, prefix); scenarios without PSP share one entry.
-  const bool psp_active = opts.psp != PspMode::kNone && observations_ != nullptr;
-  const CacheKey key{d.dest_asn, psp_active ? int(opts.psp) : 0,
-                     psp_active ? d.dst_prefix : Ipv4Prefix{}};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return *it->second;
+  // depends on (origin, prefix); scenarios without PSP share one entry, and
+  // under PSP each destination prefix gets its own entry.
+  const bool psp_active =
+      opts.psp != PspMode::kNone && observations_ != nullptr;
+  return CacheKey{d.dest_asn, psp_active ? int(opts.psp) : 0,
+                  psp_active ? d.dst_prefix : Ipv4Prefix{}};
+}
 
-  OriginEdgeFilter filter;
-  if (psp_active) {
-    const Asn origin = d.dest_asn;
-    const Ipv4Prefix prefix = d.dst_prefix;
-    const BgpObservations* obs = observations_;
-    if (opts.psp == PspMode::kCriteria1) {
-      // Criteria 1: the edge N->O exists for P only if O was seen
-      // announcing P to N.
-      filter = [obs, origin, prefix](Asn neighbor) {
-        return obs->announced(origin, neighbor, prefix);
-      };
-    } else {
-      // Criteria 2: apply criteria 1 only when O->N was observed for at
-      // least one prefix (otherwise the silence may be poor visibility).
-      filter = [obs, origin, prefix](Asn neighbor) {
-        if (!obs->announced_any(origin, neighbor)) return true;
-        return obs->announced(origin, neighbor, prefix);
-      };
-    }
+const GrPathSet& DecisionClassifier::path_set(
+    const RouteDecision& d, const ScenarioOptions& opts) const {
+  CacheEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    std::unique_ptr<CacheEntry>& slot = cache_[cache_key(d, opts)];
+    if (!slot) slot = std::make_unique<CacheEntry>();
+    entry = slot.get();
   }
 
-  auto set = std::make_unique<GrPathSet>(model_.compute(d.dest_asn, filter));
-  const GrPathSet& ref = *set;
-  cache_.emplace(key, std::move(set));
-  return ref;
+  // Compute outside the map lock (other keys proceed concurrently) but
+  // exactly once per key: losers of the race block until the winner's
+  // result is visible, never recompute.
+  std::call_once(entry->once, [&] {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+    OriginEdgeFilter filter;
+    const bool psp_active =
+        opts.psp != PspMode::kNone && observations_ != nullptr;
+    if (psp_active) {
+      const Asn origin = d.dest_asn;
+      const Ipv4Prefix prefix = d.dst_prefix;
+      const BgpObservations* obs = observations_;
+      if (opts.psp == PspMode::kCriteria1) {
+        // Criteria 1: the edge N->O exists for P only if O was seen
+        // announcing P to N.
+        filter = [obs, origin, prefix](Asn neighbor) {
+          return obs->announced(origin, neighbor, prefix);
+        };
+      } else {
+        // Criteria 2: apply criteria 1 only when O->N was observed for at
+        // least one prefix (otherwise the silence may be poor visibility).
+        filter = [obs, origin, prefix](Asn neighbor) {
+          if (!obs->announced_any(origin, neighbor)) return true;
+          return obs->announced(origin, neighbor, prefix);
+        };
+      }
+    }
+    entry->set = model_.compute(d.dest_asn, filter);
+  });
+  return entry->set;
+}
+
+void DecisionClassifier::precompute(
+    const std::vector<RouteDecision>& decisions, int threads) const {
+  // Deduplicate up front so the pool sees one job per distinct cache key;
+  // keep a representative decision (+ scenario) per key to rebuild the
+  // filter. All Figure 1 scenarios map onto the three PSP modes.
+  std::map<CacheKey, std::pair<const RouteDecision*, ScenarioOptions>> work;
+  for (const NamedScenario& scenario : figure1_scenarios())
+    for (const RouteDecision& d : decisions)
+      work.emplace(cache_key(d, scenario.options),
+                   std::make_pair(&d, scenario.options));
+
+  std::vector<std::pair<const RouteDecision*, ScenarioOptions>> jobs;
+  jobs.reserve(work.size());
+  for (const auto& [key, job] : work) jobs.push_back(job);
+
+  ThreadPool pool{threads};
+  pool.parallel_for(0, jobs.size(), [&](std::size_t i) {
+    path_set(*jobs[i].first, jobs[i].second);
+  });
 }
 
 std::optional<Relationship> DecisionClassifier::effective_relationship(

@@ -13,8 +13,10 @@
 //                from the origin (criteria 2).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "core/decisions.hpp"
@@ -46,13 +48,20 @@ std::vector<NamedScenario> figure1_scenarios();
 /// Classifies decisions against the GR model over an inferred topology.
 ///
 /// GrPathSets are cached per (destination, PSP mode, prefix); the classifier
-/// is therefore cheap to call per decision after warm-up.
+/// is therefore cheap to call per decision after warm-up. The cache is
+/// thread-safe: concurrent calls may classify in parallel, and two threads
+/// asking for the same key never duplicate a GrModel computation (per-entry
+/// once semantics). References returned by path_set stay valid for the
+/// classifier's lifetime.
 class DecisionClassifier {
  public:
   DecisionClassifier(const InferredTopology* topo, std::size_t num_ases,
                      const HybridDataset* hybrid,
                      const SiblingGroups* siblings,
                      const BgpObservations* observations);
+
+  DecisionClassifier(const DecisionClassifier&) = delete;
+  DecisionClassifier& operator=(const DecisionClassifier&) = delete;
 
   DecisionCategory classify(const RouteDecision& d,
                             const ScenarioOptions& opts) const;
@@ -70,6 +79,21 @@ class DecisionClassifier {
   const GrPathSet& path_set(const RouteDecision& d,
                             const ScenarioOptions& opts) const;
 
+  /// Warms the GrPathSet cache for every distinct (destination, PSP mode,
+  /// prefix) key the given decisions touch under the standard Figure 1
+  /// scenarios, fanning GrModel::compute out over `threads` workers
+  /// (ParallelConfig semantics: 0 = hardware, 1 = inline). Purely a
+  /// performance hint — classification results are identical without it.
+  void precompute(const std::vector<RouteDecision>& decisions,
+                  int threads) const;
+
+  /// Number of GrPathSet computations performed so far — one per distinct
+  /// cache key ever requested, regardless of thread count (concurrent
+  /// requests for one key compute it exactly once).
+  std::size_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+
   const InferredTopology& topology() const { return *topo_; }
   std::size_t num_ases() const { return model_.num_ases(); }
 
@@ -78,14 +102,29 @@ class DecisionClassifier {
   std::optional<Relationship> effective_relationship(
       const RouteDecision& d, const ScenarioOptions& opts) const;
 
+  /// The cache key of a decision under a scenario: destination AS, PSP
+  /// criteria actually in effect (kNone when no observations are wired in),
+  /// and — only when PSP is active — the destination prefix. Scenarios
+  /// without PSP share one entry per destination.
+  using CacheKey = std::tuple<Asn, int, Ipv4Prefix>;
+  CacheKey cache_key(const RouteDecision& d, const ScenarioOptions& opts) const;
+
   const InferredTopology* topo_;
   GrModel model_;
   const HybridDataset* hybrid_;
   const SiblingGroups* siblings_;
   const BgpObservations* observations_;
 
-  using CacheKey = std::tuple<Asn, int, Ipv4Prefix>;
-  mutable std::map<CacheKey, std::unique_ptr<GrPathSet>> cache_;
+  /// One cache slot; `once` guarantees a single computation per key even
+  /// under concurrent lookups. Entries are heap-allocated so references
+  /// handed out stay stable while the map grows.
+  struct CacheEntry {
+    std::once_flag once;
+    GrPathSet set;
+  };
+  mutable std::mutex cache_mu_;  ///< Guards the map, not the entries.
+  mutable std::map<CacheKey, std::unique_ptr<CacheEntry>> cache_;
+  mutable std::atomic<std::size_t> cache_misses_{0};
 };
 
 }  // namespace irp

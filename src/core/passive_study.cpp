@@ -23,8 +23,13 @@ std::vector<Asn> content_related_ases(const GeneratedInternet& net) {
 
 /// Runs per-epoch chunked convergences announcing one prefix per AS and
 /// feeds the corpus — the route-collector view of each monthly snapshot.
+///
+/// Each (epoch, batch) convergence owns a private BgpEngine over the shared
+/// immutable topology/policy, so batches run concurrently on `pool`; feeds
+/// are merged in deterministic (epoch, batch-index) order afterwards, which
+/// keeps the corpus byte-identical to a serial run.
 void build_corpus(const GeneratedInternet& net, const GroundTruthPolicy& policy,
-                  int batch, PathCorpus& corpus) {
+                  int batch, ThreadPool& pool, PathCorpus& corpus) {
   const Topology& topo = net.topology;
   std::vector<std::pair<Ipv4Prefix, Asn>> origins;
   topo.for_each_as([&](const AsNode& node) {
@@ -32,19 +37,30 @@ void build_corpus(const GeneratedInternet& net, const GroundTruthPolicy& policy,
       origins.emplace_back(node.prefixes.front().prefix, node.asn);
   });
 
-  for (int epoch = 0; epoch <= net.measurement_epoch; ++epoch) {
+  struct Job {
+    int epoch;
+    std::size_t start;
+  };
+  std::vector<Job> jobs;
+  for (int epoch = 0; epoch <= net.measurement_epoch; ++epoch)
     for (std::size_t start = 0; start < origins.size();
-         start += static_cast<std::size_t>(batch)) {
-      BgpEngine engine{&topo, &policy, epoch};
-      const std::size_t end =
-          std::min(origins.size(), start + static_cast<std::size_t>(batch));
-      for (std::size_t i = start; i < end; ++i)
-        engine.announce(origins[i].first, origins[i].second);
-      engine.run();
-      for (const FeedEntry& e : engine.feed(net.collector_peers))
-        corpus.add_feed(epoch, e);
-    }
-  }
+         start += static_cast<std::size_t>(batch))
+      jobs.push_back({epoch, start});
+
+  const std::vector<std::vector<FeedEntry>> feeds =
+      pool.parallel_map(jobs.size(), [&](std::size_t j) {
+        const Job& job = jobs[j];
+        BgpEngine engine{&topo, &policy, job.epoch};
+        const std::size_t end = std::min(
+            origins.size(), job.start + static_cast<std::size_t>(batch));
+        for (std::size_t i = job.start; i < end; ++i)
+          engine.announce(origins[i].first, origins[i].second);
+        engine.run();
+        return engine.feed(net.collector_peers);
+      });
+
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    for (const FeedEntry& e : feeds[j]) corpus.add_feed(jobs[j].epoch, e);
 }
 
 }  // namespace
@@ -68,11 +84,12 @@ PassiveDataset run_passive_study(const GeneratedInternet& net,
   PassiveDataset ds;
   Rng rng{config.seed};
   const Topology& topo = net.topology;
+  ThreadPool pool{config.parallel.threads};
 
   ds.policy = std::make_unique<GroundTruthPolicy>(&topo);
 
   // -- 1. Inference corpus across all snapshots.
-  build_corpus(net, *ds.policy, config.snapshot_batch, ds.corpus);
+  build_corpus(net, *ds.policy, config.snapshot_batch, pool, ds.corpus);
 
   // -- 2. Measurement-epoch engine with all content-related prefixes.
   ds.engine = std::make_unique<BgpEngine>(&topo, ds.policy.get(),
@@ -165,9 +182,15 @@ PassiveDataset run_passive_study(const GeneratedInternet& net,
   for (const FeedEntry& e : ds.measurement_feed)
     ds.corpus.add_feed(net.measurement_epoch, e);
 
-  for (int epoch = 0; epoch <= net.measurement_epoch; ++epoch)
-    ds.snapshots.push_back(
-        infer_snapshot(ds.corpus.paths(epoch), config.inference));
+  // Per-snapshot inference is a pure function of the (now frozen) corpus;
+  // parallel_map returns the snapshots in ascending epoch order regardless
+  // of which thread computed which epoch.
+  ds.snapshots = pool.parallel_map(
+      static_cast<std::size_t>(net.measurement_epoch + 1),
+      [&](std::size_t epoch) {
+        return infer_snapshot(ds.corpus.paths(static_cast<int>(epoch)),
+                              config.inference);
+      });
   ds.inferred = aggregate_snapshots(ds.snapshots);
 
   ds.siblings = infer_siblings(net.whois, net.soa);

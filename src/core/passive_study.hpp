@@ -33,6 +33,7 @@
 #include "inference/relationships.hpp"
 #include "inference/siblings.hpp"
 #include "topo/generator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace irp {
 
@@ -47,6 +48,11 @@ struct PassiveStudyConfig {
   InferenceConfig inference;
   /// Engine batching for the snapshot runs (memory control).
   int snapshot_batch = 64;
+  /// Thread count for the embarrassingly parallel phases (corpus
+  /// convergences, per-snapshot inference). All randomness stays in the
+  /// serial orchestration, so any thread count produces byte-identical
+  /// results; 1 (the default) is the classic serial path.
+  ParallelConfig parallel;
   std::uint64_t seed = 7;
 };
 

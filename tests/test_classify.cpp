@@ -1,6 +1,9 @@
 // Tests for decision classification and the refinement scenarios.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "core/classify.hpp"
 
 namespace irp {
@@ -134,6 +137,83 @@ TEST_F(ClassifyTest, PspCriteriaRestrictOriginEdges) {
   // Criteria 2: (1,2) announced *some* prefix -> criteria 1 applies to that
   // edge and removes it; (1,3) was never seen at all -> kept.
   EXPECT_EQ(cls.classify(other, psp2), DecisionCategory::kBestShort);
+}
+
+TEST_F(ClassifyTest, DistinctPspPrefixesGetDistinctPathSets) {
+  // Regression: the cache is keyed per (destination, PSP mode, prefix) —
+  // two decisions toward the same destination but for different prefixes
+  // must not share a PSP path set (their origin-edge filters differ).
+  BgpObservations obs;
+  std::vector<FeedEntry> feed;
+  feed.push_back({9, prefix_, AsPath{{9, 2, 1}, {}}});
+  obs.ingest(feed);
+  DecisionClassifier cls{&topo_, 5, &hybrid_, &siblings_, &obs};
+  const ScenarioOptions psp1{.psp = PspMode::kCriteria1};
+
+  const auto observed = decision(4, 2, 2);  // dst_prefix = prefix_.
+  auto unobserved = decision(4, 2, 2);
+  unobserved.dst_prefix = *Ipv4Prefix::parse("10.77.0.0/24");
+
+  const GrPathSet& ps_observed = cls.path_set(observed, psp1);
+  const GrPathSet& ps_unobserved = cls.path_set(unobserved, psp1);
+  EXPECT_NE(&ps_observed, &ps_unobserved);
+  EXPECT_EQ(cls.cache_misses(), 2u);
+  // And the contents differ: only the observed prefix keeps a GR route
+  // into the destination (1->2 was the only announcement seen).
+  EXPECT_NE(ps_observed.shortest_length(4), ps_unobserved.shortest_length(4));
+
+  // Same destination and prefix: one shared entry, no new computation.
+  EXPECT_EQ(&cls.path_set(decision(4, 2, 5), psp1), &ps_observed);
+  EXPECT_EQ(cls.cache_misses(), 2u);
+
+  // Scenarios without PSP share one entry per destination across prefixes.
+  const ScenarioOptions simple;
+  EXPECT_EQ(&cls.path_set(observed, simple), &cls.path_set(unobserved, simple));
+  EXPECT_EQ(cls.cache_misses(), 3u);
+  // All-1 reuses PSP-1's entries (the path set ignores hybrid/siblings).
+  const ScenarioOptions all1{
+      .use_hybrid = true, .use_siblings = true, .psp = PspMode::kCriteria1};
+  EXPECT_EQ(&cls.path_set(observed, all1), &ps_observed);
+  EXPECT_EQ(cls.cache_misses(), 3u);
+}
+
+TEST_F(ClassifyTest, ConcurrentCacheComputesEachPathSetOnce) {
+  // Hammer path_set from many threads for a mix of same and different
+  // destinations and PSP prefixes; every distinct key must be computed
+  // exactly once and every thread must agree on the returned pointer.
+  BgpObservations obs;
+  std::vector<FeedEntry> feed;
+  feed.push_back({9, prefix_, AsPath{{9, 2, 1}, {}}});
+  obs.ingest(feed);
+  DecisionClassifier cls{&topo_, 5, &hybrid_, &siblings_, &obs};
+  const ScenarioOptions simple;
+  const ScenarioOptions psp1{.psp = PspMode::kCriteria1};
+  const ScenarioOptions psp2{.psp = PspMode::kCriteria2};
+
+  // 5 destinations x simple + 2 (dest 1 PSP prefixes) x 2 criteria = 9.
+  constexpr std::size_t kExpectedKeys = 9;
+  const auto worker = [&](std::size_t salt) {
+    for (int round = 0; round < 50; ++round) {
+      for (Asn dest = 1; dest <= 5; ++dest) {
+        RouteDecision d = decision(4, 2, 2);
+        d.dest_asn = dest;
+        cls.path_set(d, simple);
+      }
+      auto d = decision(4, 2, 2);
+      if ((round + salt) % 2 == 0)
+        d.dst_prefix = *Ipv4Prefix::parse("10.77.0.0/24");
+      cls.path_set(d, psp1);
+      cls.path_set(d, psp2);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 8; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(cls.cache_misses(), kExpectedKeys);
+  // A post-hoc lookup still hits the cache.
+  cls.path_set(decision(4, 2, 2), simple);
+  EXPECT_EQ(cls.cache_misses(), kExpectedKeys);
 }
 
 TEST_F(ClassifyTest, Figure1ScenarioListIsComplete) {

@@ -1,0 +1,128 @@
+// Determinism harness for the parallel execution layer: the passive study
+// and the full classification pipeline must produce byte-identical results
+// at any thread count, because workers only ever claim *which* unit of work
+// to run — all randomness and all result ordering stay serial.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/report_io.hpp"
+#include "inference/serialize.hpp"
+#include "test_support.hpp"
+
+namespace irp {
+namespace {
+
+/// Full text dump of every extracted routing decision, in order.
+std::string dump_decisions(const PassiveDataset& ds) {
+  std::ostringstream out;
+  for (const RouteDecision& d : ds.decisions) {
+    out << d.decider << '>' << d.next_hop << " dest=" << d.dest_asn
+        << " src=" << d.src_asn << " rem=" << d.remaining_len
+        << " prefix=" << d.dst_prefix.to_string()
+        << " origin=" << d.origin_asn << " city="
+        << (d.interconnect_city ? int(*d.interconnect_city) : -1)
+        << " tr=" << d.traceroute_index << " path=";
+    for (Asn asn : d.measured_remaining) out << asn << ',';
+    out << '\n';
+  }
+  return out.str();
+}
+
+/// Full text dump of the corpus: every epoch, every path.
+std::string dump_corpus(const PathCorpus& corpus) {
+  std::ostringstream out;
+  for (int epoch : corpus.epochs()) {
+    out << "epoch " << epoch << '\n';
+    for (const std::vector<Asn>& path : corpus.paths(epoch)) {
+      for (Asn asn : path) out << asn << ' ';
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+/// Per-decision categories under every Figure 1 scenario, one char each.
+std::string dump_classification(const PassiveDataset& ds,
+                                const DecisionClassifier& classifier) {
+  std::ostringstream out;
+  for (const NamedScenario& scenario : figure1_scenarios()) {
+    out << scenario.name << ':';
+    for (const RouteDecision& d : ds.decisions)
+      out << int(classifier.classify(d, scenario.options));
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(ParallelDeterminism, ParallelEqualsSerialEverywhere) {
+  const auto net = generate_internet(test::small_generator_config());
+
+  PassiveStudyConfig serial_config = test::small_passive_config();
+  serial_config.parallel.threads = 1;
+  PassiveStudyConfig parallel_config = serial_config;
+  parallel_config.parallel.threads = 4;
+
+  const PassiveDataset serial = run_passive_study(*net, serial_config);
+  const PassiveDataset parallel = run_passive_study(*net, parallel_config);
+
+  // -- Decisions: identical, field by field, in extraction order.
+  EXPECT_EQ(dump_decisions(serial), dump_decisions(parallel));
+
+  // -- Corpus: identical path sets in every epoch.
+  EXPECT_EQ(dump_corpus(serial.corpus), dump_corpus(parallel.corpus));
+
+  // -- Inferred relationships: the aggregate and every monthly snapshot
+  // serialize to identical CAIDA serial-1 text (round-trip format).
+  EXPECT_EQ(to_caida_format(serial.inferred), to_caida_format(parallel.inferred));
+  ASSERT_EQ(serial.snapshots.size(), parallel.snapshots.size());
+  for (std::size_t i = 0; i < serial.snapshots.size(); ++i)
+    EXPECT_EQ(to_caida_format(serial.snapshots[i]),
+              to_caida_format(parallel.snapshots[i]))
+        << "snapshot " << i;
+
+  // Round-trip sanity: the text parses back to the same number of links.
+  EXPECT_EQ(from_caida_format(to_caida_format(parallel.inferred)).num_links(),
+            parallel.inferred.num_links());
+
+  // -- Classification: a serial classifier vs one whose cache was warmed
+  // by a 4-thread precompute, decision by decision, scenario by scenario.
+  const DecisionClassifier serial_cls = make_classifier(serial);
+  const DecisionClassifier parallel_cls = make_classifier(parallel);
+  parallel_cls.precompute(parallel.decisions, 4);
+  EXPECT_EQ(dump_classification(serial, serial_cls),
+            dump_classification(parallel, parallel_cls));
+
+  // -- Report tables: byte-identical CSV for the classifier-driven reports.
+  EXPECT_EQ(figure1_csv(compute_figure1(serial, serial_cls)),
+            figure1_csv(compute_figure1(parallel, parallel_cls)));
+  EXPECT_EQ(figure2_csv(compute_skew(serial, *net, serial_cls)),
+            figure2_csv(compute_skew(parallel, *net, parallel_cls)));
+  EXPECT_EQ(table1_csv(compute_table1(serial, *net)),
+            table1_csv(compute_table1(parallel, *net)));
+}
+
+TEST(ParallelDeterminism, HardwareThreadCountAlsoMatchesSerial) {
+  // threads = 0 (one per core) through the same harness, on a reduced
+  // config to keep the suite fast: corpus and inference must still match.
+  auto config = test::small_generator_config(11);
+  config.stubs_per_country = 2;
+  const auto net = generate_internet(config);
+
+  PassiveStudyConfig serial_config = test::small_passive_config();
+  serial_config.probes.sample_per_continent = 10;
+  serial_config.parallel.threads = 1;
+  PassiveStudyConfig hw_config = serial_config;
+  hw_config.parallel.threads = 0;
+
+  const PassiveDataset serial = run_passive_study(*net, serial_config);
+  const PassiveDataset hw = run_passive_study(*net, hw_config);
+  EXPECT_EQ(dump_corpus(serial.corpus), dump_corpus(hw.corpus));
+  EXPECT_EQ(dump_decisions(serial), dump_decisions(hw));
+  EXPECT_EQ(to_caida_format(serial.inferred), to_caida_format(hw.inferred));
+}
+
+}  // namespace
+}  // namespace irp
