@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_links.dir/bench_active_links.cpp.o"
+  "CMakeFiles/bench_active_links.dir/bench_active_links.cpp.o.d"
+  "bench_active_links"
+  "bench_active_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

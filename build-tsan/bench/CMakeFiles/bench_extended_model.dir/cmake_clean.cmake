@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_model.dir/bench_extended_model.cpp.o"
+  "CMakeFiles/bench_extended_model.dir/bench_extended_model.cpp.o.d"
+  "bench_extended_model"
+  "bench_extended_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_skew.dir/bench_figure2_skew.cpp.o"
+  "CMakeFiles/bench_figure2_skew.dir/bench_figure2_skew.cpp.o.d"
+  "bench_figure2_skew"
+  "bench_figure2_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

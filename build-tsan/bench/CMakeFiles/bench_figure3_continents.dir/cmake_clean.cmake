@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_continents.dir/bench_figure3_continents.cpp.o"
+  "CMakeFiles/bench_figure3_continents.dir/bench_figure3_continents.cpp.o.d"
+  "bench_figure3_continents"
+  "bench_figure3_continents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_continents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_probes.dir/bench_table1_probes.cpp.o"
+  "CMakeFiles/bench_table1_probes.dir/bench_table1_probes.cpp.o.d"
+  "bench_table1_probes"
+  "bench_table1_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_triggers.dir/bench_table2_triggers.cpp.o"
+  "CMakeFiles/bench_table2_triggers.dir/bench_table2_triggers.cpp.o.d"
+  "bench_table2_triggers"
+  "bench_table2_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_domestic.dir/bench_table3_domestic.cpp.o"
+  "CMakeFiles/bench_table3_domestic.dir/bench_table3_domestic.cpp.o.d"
+  "bench_table3_domestic"
+  "bench_table3_domestic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_domestic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

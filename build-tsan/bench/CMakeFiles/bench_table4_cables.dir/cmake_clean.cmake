@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cables.dir/bench_table4_cables.cpp.o"
+  "CMakeFiles/bench_table4_cables.dir/bench_table4_cables.cpp.o.d"
+  "bench_table4_cables"
+  "bench_table4_cables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

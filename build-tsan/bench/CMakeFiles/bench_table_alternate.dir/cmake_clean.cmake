@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_alternate.dir/bench_table_alternate.cpp.o"
+  "CMakeFiles/bench_table_alternate.dir/bench_table_alternate.cpp.o.d"
+  "bench_table_alternate"
+  "bench_table_alternate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_alternate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

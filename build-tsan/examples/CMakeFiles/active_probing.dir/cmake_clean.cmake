@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_probing.dir/active_probing.cpp.o"
+  "CMakeFiles/active_probing.dir/active_probing.cpp.o.d"
+  "active_probing"
+  "active_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_study.dir/passive_study.cpp.o"
+  "CMakeFiles/passive_study.dir/passive_study.cpp.o.d"
+  "passive_study"
+  "passive_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_study_cli.dir/run_study_cli.cpp.o"
+  "CMakeFiles/run_study_cli.dir/run_study_cli.cpp.o.d"
+  "run_study_cli"
+  "run_study_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_study_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_robustness.dir/seed_robustness.cpp.o"
+  "CMakeFiles/seed_robustness.dir/seed_robustness.cpp.o.d"
+  "seed_robustness"
+  "seed_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

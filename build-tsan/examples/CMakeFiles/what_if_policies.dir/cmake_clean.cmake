@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_policies.dir/what_if_policies.cpp.o"
+  "CMakeFiles/what_if_policies.dir/what_if_policies.cpp.o.d"
+  "what_if_policies"
+  "what_if_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

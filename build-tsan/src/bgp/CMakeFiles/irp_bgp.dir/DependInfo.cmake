@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/engine.cpp" "src/bgp/CMakeFiles/irp_bgp.dir/engine.cpp.o" "gcc" "src/bgp/CMakeFiles/irp_bgp.dir/engine.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/irp_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/irp_bgp.dir/policy.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/irp_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/irp_bgp.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/irp_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/irp_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/irp_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topo/CMakeFiles/irp_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

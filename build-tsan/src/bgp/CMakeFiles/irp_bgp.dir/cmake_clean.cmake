@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_bgp.dir/engine.cpp.o"
+  "CMakeFiles/irp_bgp.dir/engine.cpp.o.d"
+  "CMakeFiles/irp_bgp.dir/policy.cpp.o"
+  "CMakeFiles/irp_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/irp_bgp.dir/route.cpp.o"
+  "CMakeFiles/irp_bgp.dir/route.cpp.o.d"
+  "libirp_bgp.a"
+  "libirp_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_study.cpp" "src/core/CMakeFiles/irp_core.dir/active_study.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/active_study.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/irp_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/irp_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/decisions.cpp" "src/core/CMakeFiles/irp_core.dir/decisions.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/decisions.cpp.o.d"
+  "/root/repo/src/core/extended_model.cpp" "src/core/CMakeFiles/irp_core.dir/extended_model.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/extended_model.cpp.o.d"
+  "/root/repo/src/core/gr_model.cpp" "src/core/CMakeFiles/irp_core.dir/gr_model.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/gr_model.cpp.o.d"
+  "/root/repo/src/core/looking_glass.cpp" "src/core/CMakeFiles/irp_core.dir/looking_glass.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/looking_glass.cpp.o.d"
+  "/root/repo/src/core/passive_study.cpp" "src/core/CMakeFiles/irp_core.dir/passive_study.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/passive_study.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/irp_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/reports.cpp" "src/core/CMakeFiles/irp_core.dir/reports.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/reports.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/irp_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/irp_core.dir/study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/irp_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/irp_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/irp_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topo/CMakeFiles/irp_topo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bgp/CMakeFiles/irp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dataplane/CMakeFiles/irp_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/inference/CMakeFiles/irp_inference.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

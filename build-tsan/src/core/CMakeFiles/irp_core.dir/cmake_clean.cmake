@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_core.dir/active_study.cpp.o"
+  "CMakeFiles/irp_core.dir/active_study.cpp.o.d"
+  "CMakeFiles/irp_core.dir/analysis.cpp.o"
+  "CMakeFiles/irp_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/irp_core.dir/classify.cpp.o"
+  "CMakeFiles/irp_core.dir/classify.cpp.o.d"
+  "CMakeFiles/irp_core.dir/decisions.cpp.o"
+  "CMakeFiles/irp_core.dir/decisions.cpp.o.d"
+  "CMakeFiles/irp_core.dir/extended_model.cpp.o"
+  "CMakeFiles/irp_core.dir/extended_model.cpp.o.d"
+  "CMakeFiles/irp_core.dir/gr_model.cpp.o"
+  "CMakeFiles/irp_core.dir/gr_model.cpp.o.d"
+  "CMakeFiles/irp_core.dir/looking_glass.cpp.o"
+  "CMakeFiles/irp_core.dir/looking_glass.cpp.o.d"
+  "CMakeFiles/irp_core.dir/passive_study.cpp.o"
+  "CMakeFiles/irp_core.dir/passive_study.cpp.o.d"
+  "CMakeFiles/irp_core.dir/report_io.cpp.o"
+  "CMakeFiles/irp_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/irp_core.dir/reports.cpp.o"
+  "CMakeFiles/irp_core.dir/reports.cpp.o.d"
+  "CMakeFiles/irp_core.dir/study.cpp.o"
+  "CMakeFiles/irp_core.dir/study.cpp.o.d"
+  "libirp_core.a"
+  "libirp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

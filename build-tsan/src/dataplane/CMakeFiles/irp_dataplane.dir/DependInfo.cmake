@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/as_type.cpp" "src/dataplane/CMakeFiles/irp_dataplane.dir/as_type.cpp.o" "gcc" "src/dataplane/CMakeFiles/irp_dataplane.dir/as_type.cpp.o.d"
+  "/root/repo/src/dataplane/dns.cpp" "src/dataplane/CMakeFiles/irp_dataplane.dir/dns.cpp.o" "gcc" "src/dataplane/CMakeFiles/irp_dataplane.dir/dns.cpp.o.d"
+  "/root/repo/src/dataplane/ip_to_as.cpp" "src/dataplane/CMakeFiles/irp_dataplane.dir/ip_to_as.cpp.o" "gcc" "src/dataplane/CMakeFiles/irp_dataplane.dir/ip_to_as.cpp.o.d"
+  "/root/repo/src/dataplane/probes.cpp" "src/dataplane/CMakeFiles/irp_dataplane.dir/probes.cpp.o" "gcc" "src/dataplane/CMakeFiles/irp_dataplane.dir/probes.cpp.o.d"
+  "/root/repo/src/dataplane/traceroute.cpp" "src/dataplane/CMakeFiles/irp_dataplane.dir/traceroute.cpp.o" "gcc" "src/dataplane/CMakeFiles/irp_dataplane.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/irp_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/irp_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/irp_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topo/CMakeFiles/irp_topo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bgp/CMakeFiles/irp_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

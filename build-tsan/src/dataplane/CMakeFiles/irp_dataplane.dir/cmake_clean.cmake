@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_dataplane.dir/as_type.cpp.o"
+  "CMakeFiles/irp_dataplane.dir/as_type.cpp.o.d"
+  "CMakeFiles/irp_dataplane.dir/dns.cpp.o"
+  "CMakeFiles/irp_dataplane.dir/dns.cpp.o.d"
+  "CMakeFiles/irp_dataplane.dir/ip_to_as.cpp.o"
+  "CMakeFiles/irp_dataplane.dir/ip_to_as.cpp.o.d"
+  "CMakeFiles/irp_dataplane.dir/probes.cpp.o"
+  "CMakeFiles/irp_dataplane.dir/probes.cpp.o.d"
+  "CMakeFiles/irp_dataplane.dir/traceroute.cpp.o"
+  "CMakeFiles/irp_dataplane.dir/traceroute.cpp.o.d"
+  "libirp_dataplane.a"
+  "libirp_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

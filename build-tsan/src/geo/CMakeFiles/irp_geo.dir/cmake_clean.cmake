@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_geo.dir/geolocation.cpp.o"
+  "CMakeFiles/irp_geo.dir/geolocation.cpp.o.d"
+  "CMakeFiles/irp_geo.dir/world.cpp.o"
+  "CMakeFiles/irp_geo.dir/world.cpp.o.d"
+  "libirp_geo.a"
+  "libirp_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

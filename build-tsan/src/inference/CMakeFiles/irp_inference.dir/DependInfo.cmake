@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/bgp_observations.cpp" "src/inference/CMakeFiles/irp_inference.dir/bgp_observations.cpp.o" "gcc" "src/inference/CMakeFiles/irp_inference.dir/bgp_observations.cpp.o.d"
+  "/root/repo/src/inference/hybrid_dataset.cpp" "src/inference/CMakeFiles/irp_inference.dir/hybrid_dataset.cpp.o" "gcc" "src/inference/CMakeFiles/irp_inference.dir/hybrid_dataset.cpp.o.d"
+  "/root/repo/src/inference/path_corpus.cpp" "src/inference/CMakeFiles/irp_inference.dir/path_corpus.cpp.o" "gcc" "src/inference/CMakeFiles/irp_inference.dir/path_corpus.cpp.o.d"
+  "/root/repo/src/inference/relationships.cpp" "src/inference/CMakeFiles/irp_inference.dir/relationships.cpp.o" "gcc" "src/inference/CMakeFiles/irp_inference.dir/relationships.cpp.o.d"
+  "/root/repo/src/inference/renumber.cpp" "src/inference/CMakeFiles/irp_inference.dir/renumber.cpp.o" "gcc" "src/inference/CMakeFiles/irp_inference.dir/renumber.cpp.o.d"
+  "/root/repo/src/inference/serialize.cpp" "src/inference/CMakeFiles/irp_inference.dir/serialize.cpp.o" "gcc" "src/inference/CMakeFiles/irp_inference.dir/serialize.cpp.o.d"
+  "/root/repo/src/inference/siblings.cpp" "src/inference/CMakeFiles/irp_inference.dir/siblings.cpp.o" "gcc" "src/inference/CMakeFiles/irp_inference.dir/siblings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/irp_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/irp_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/irp_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topo/CMakeFiles/irp_topo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bgp/CMakeFiles/irp_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_inference.dir/bgp_observations.cpp.o"
+  "CMakeFiles/irp_inference.dir/bgp_observations.cpp.o.d"
+  "CMakeFiles/irp_inference.dir/hybrid_dataset.cpp.o"
+  "CMakeFiles/irp_inference.dir/hybrid_dataset.cpp.o.d"
+  "CMakeFiles/irp_inference.dir/path_corpus.cpp.o"
+  "CMakeFiles/irp_inference.dir/path_corpus.cpp.o.d"
+  "CMakeFiles/irp_inference.dir/relationships.cpp.o"
+  "CMakeFiles/irp_inference.dir/relationships.cpp.o.d"
+  "CMakeFiles/irp_inference.dir/renumber.cpp.o"
+  "CMakeFiles/irp_inference.dir/renumber.cpp.o.d"
+  "CMakeFiles/irp_inference.dir/serialize.cpp.o"
+  "CMakeFiles/irp_inference.dir/serialize.cpp.o.d"
+  "CMakeFiles/irp_inference.dir/siblings.cpp.o"
+  "CMakeFiles/irp_inference.dir/siblings.cpp.o.d"
+  "libirp_inference.a"
+  "libirp_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_net.dir/address_plan.cpp.o"
+  "CMakeFiles/irp_net.dir/address_plan.cpp.o.d"
+  "CMakeFiles/irp_net.dir/ipv4.cpp.o"
+  "CMakeFiles/irp_net.dir/ipv4.cpp.o.d"
+  "libirp_net.a"
+  "libirp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/generator.cpp" "src/topo/CMakeFiles/irp_topo.dir/generator.cpp.o" "gcc" "src/topo/CMakeFiles/irp_topo.dir/generator.cpp.o.d"
+  "/root/repo/src/topo/registry.cpp" "src/topo/CMakeFiles/irp_topo.dir/registry.cpp.o" "gcc" "src/topo/CMakeFiles/irp_topo.dir/registry.cpp.o.d"
+  "/root/repo/src/topo/serialize.cpp" "src/topo/CMakeFiles/irp_topo.dir/serialize.cpp.o" "gcc" "src/topo/CMakeFiles/irp_topo.dir/serialize.cpp.o.d"
+  "/root/repo/src/topo/stats.cpp" "src/topo/CMakeFiles/irp_topo.dir/stats.cpp.o" "gcc" "src/topo/CMakeFiles/irp_topo.dir/stats.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/irp_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/irp_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/types.cpp" "src/topo/CMakeFiles/irp_topo.dir/types.cpp.o" "gcc" "src/topo/CMakeFiles/irp_topo.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/irp_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/irp_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/irp_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

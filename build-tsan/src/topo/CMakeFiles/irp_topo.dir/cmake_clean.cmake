@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_topo.dir/generator.cpp.o"
+  "CMakeFiles/irp_topo.dir/generator.cpp.o.d"
+  "CMakeFiles/irp_topo.dir/registry.cpp.o"
+  "CMakeFiles/irp_topo.dir/registry.cpp.o.d"
+  "CMakeFiles/irp_topo.dir/serialize.cpp.o"
+  "CMakeFiles/irp_topo.dir/serialize.cpp.o.d"
+  "CMakeFiles/irp_topo.dir/stats.cpp.o"
+  "CMakeFiles/irp_topo.dir/stats.cpp.o.d"
+  "CMakeFiles/irp_topo.dir/topology.cpp.o"
+  "CMakeFiles/irp_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/irp_topo.dir/types.cpp.o"
+  "CMakeFiles/irp_topo.dir/types.cpp.o.d"
+  "libirp_topo.a"
+  "libirp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

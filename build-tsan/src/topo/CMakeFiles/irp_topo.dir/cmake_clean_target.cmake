@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libirp_topo.a"
+)

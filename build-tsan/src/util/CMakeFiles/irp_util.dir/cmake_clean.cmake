@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irp_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/irp_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/irp_util.dir/file.cpp.o"
+  "CMakeFiles/irp_util.dir/file.cpp.o.d"
+  "CMakeFiles/irp_util.dir/rng.cpp.o"
+  "CMakeFiles/irp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/irp_util.dir/stats.cpp.o"
+  "CMakeFiles/irp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/irp_util.dir/strings.cpp.o"
+  "CMakeFiles/irp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/irp_util.dir/table.cpp.o"
+  "CMakeFiles/irp_util.dir/table.cpp.o.d"
+  "CMakeFiles/irp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/irp_util.dir/thread_pool.cpp.o.d"
+  "libirp_util.a"
+  "libirp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_unit.dir/test_active_unit.cpp.o"
+  "CMakeFiles/test_active_unit.dir/test_active_unit.cpp.o.d"
+  "test_active_unit"
+  "test_active_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_engine.dir/test_bgp_engine.cpp.o"
+  "CMakeFiles/test_bgp_engine.dir/test_bgp_engine.cpp.o.d"
+  "test_bgp_engine"
+  "test_bgp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

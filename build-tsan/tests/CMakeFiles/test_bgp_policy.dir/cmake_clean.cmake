@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_policy.dir/test_bgp_policy.cpp.o"
+  "CMakeFiles/test_bgp_policy.dir/test_bgp_policy.cpp.o.d"
+  "test_bgp_policy"
+  "test_bgp_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charts.dir/test_charts.cpp.o"
+  "CMakeFiles/test_charts.dir/test_charts.cpp.o.d"
+  "test_charts"
+  "test_charts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

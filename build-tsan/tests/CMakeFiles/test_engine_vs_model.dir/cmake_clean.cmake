@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_vs_model.dir/test_engine_vs_model.cpp.o"
+  "CMakeFiles/test_engine_vs_model.dir/test_engine_vs_model.cpp.o.d"
+  "test_engine_vs_model"
+  "test_engine_vs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_engine_vs_model.
+# This may be replaced when dependencies are built.

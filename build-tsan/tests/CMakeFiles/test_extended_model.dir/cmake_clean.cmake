@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_model.dir/test_extended_model.cpp.o"
+  "CMakeFiles/test_extended_model.dir/test_extended_model.cpp.o.d"
+  "test_extended_model"
+  "test_extended_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

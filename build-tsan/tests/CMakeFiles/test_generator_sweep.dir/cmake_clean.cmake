@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator_sweep.dir/test_generator_sweep.cpp.o"
+  "CMakeFiles/test_generator_sweep.dir/test_generator_sweep.cpp.o.d"
+  "test_generator_sweep"
+  "test_generator_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gr_model.dir/test_gr_model.cpp.o"
+  "CMakeFiles/test_gr_model.dir/test_gr_model.cpp.o.d"
+  "test_gr_model"
+  "test_gr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

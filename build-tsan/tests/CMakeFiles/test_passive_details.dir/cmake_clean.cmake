@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passive_details.dir/test_passive_details.cpp.o"
+  "CMakeFiles/test_passive_details.dir/test_passive_details.cpp.o.d"
+  "test_passive_details"
+  "test_passive_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passive_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_study_integration.cpp" "tests/CMakeFiles/test_study_integration.dir/test_study_integration.cpp.o" "gcc" "tests/CMakeFiles/test_study_integration.dir/test_study_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/irp_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dataplane/CMakeFiles/irp_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/inference/CMakeFiles/irp_inference.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bgp/CMakeFiles/irp_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/topo/CMakeFiles/irp_topo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geo/CMakeFiles/irp_geo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/irp_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/irp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_stats.dir/test_topo_stats.cpp.o"
+  "CMakeFiles/test_topo_stats.dir/test_topo_stats.cpp.o.d"
+  "test_topo_stats"
+  "test_topo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
