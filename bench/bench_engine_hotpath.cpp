@@ -1,0 +1,284 @@
+// Engine hot-path microbenchmark: the interned-path BgpEngine vs the frozen
+// pre-refactor BaselineBgpEngine on the workloads that dominate the studies:
+//   * corpus-style convergence — one prefix per AS, announced in batches,
+//     full propagation to quiescence (the passive study's inner loop);
+//   * poisoning re-convergence — repeated re-announcements with growing
+//     poison sets on one prefix (the active study's inner loop, decision-
+//     process heavy).
+// Prints a comparison table, reports the intern hit rate and sharing savings
+// from the engine counters, and emits BENCH_engine.json so future PRs have a
+// recorded perf trajectory to diff against (see bench/run_benches.sh).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bgp/baseline_engine.hpp"
+#include "bgp/engine.hpp"
+#include "topo/generator.hpp"
+
+namespace {
+
+using irp::Asn;
+using irp::BaselineBgpEngine;
+using irp::BgpEngine;
+using irp::EngineCounters;
+using irp::GeneratedInternet;
+using irp::GroundTruthPolicy;
+using irp::Ipv4Prefix;
+
+/// Mid-size Internet: big enough that convergence cost dominates setup and
+/// AS paths reach realistic lengths (where per-hop vector copies hurt the
+/// baseline the way they would at route-collector scale), small enough that
+/// the baseline engine finishes the sweep in seconds.
+const GeneratedInternet& bench_net() {
+  static const std::unique_ptr<GeneratedInternet> net = [] {
+    irp::GeneratorConfig config;
+    config.seed = 2026;
+    config.world.countries_per_continent = 4;
+    config.world.cities_per_country = 3;
+    config.tier1_count = 8;
+    config.large_isps_per_continent = 4;
+    config.education_per_continent = 2;
+    config.small_isps_per_country = 3;
+    config.stubs_per_country = 12;
+    config.content_orgs = 6;
+    config.cable_count = 4;
+    config.hybrid_pair_count = 4;
+    return irp::generate_internet(config);
+  }();
+  return *net;
+}
+
+std::vector<std::pair<Ipv4Prefix, Asn>> all_origins() {
+  std::vector<std::pair<Ipv4Prefix, Asn>> origins;
+  bench_net().topology.for_each_as([&](const irp::AsNode& node) {
+    if (!node.prefixes.empty())
+      origins.emplace_back(node.prefixes.front().prefix, node.asn);
+  });
+  return origins;
+}
+
+constexpr int kBatch = 64;
+
+/// Corpus-style convergence: announce in batches of kBatch, run() after each
+/// batch, one engine per epoch. Returns messages delivered.
+template <typename Engine>
+std::size_t converge_corpus(int epoch, EngineCounters* counters = nullptr) {
+  const auto& net = bench_net();
+  GroundTruthPolicy policy{&net.topology};
+  static const auto origins = all_origins();
+  // build_corpus hands every batch engine a shared StatePool; drive the new
+  // engine the same way so the bench measures the production configuration.
+  // The baseline engine predates pooling and allocates its state each run.
+  auto make_engine = [&] {
+    if constexpr (std::is_same_v<Engine, BgpEngine>) {
+      static BgpEngine::StatePool pool;
+      return Engine{&net.topology, &policy, epoch, &pool};
+    } else {
+      return Engine{&net.topology, &policy, epoch};
+    }
+  };
+  Engine engine = make_engine();
+  int in_batch = 0;
+  for (const auto& [prefix, origin] : origins) {
+    engine.announce(prefix, origin);
+    if (++in_batch == kBatch) {
+      engine.run();
+      in_batch = 0;
+    }
+  }
+  engine.run();
+  if constexpr (std::is_same_v<Engine, BgpEngine>)
+    if (counters != nullptr) *counters = engine.counters();
+  return engine.messages_delivered();
+}
+
+/// Poisoning churn: re-announce one prefix with a growing poison set, full
+/// re-convergence each round. Decision-process heavy (every affected AS
+/// re-runs select() over its whole RIB).
+template <typename Engine>
+std::size_t converge_poison_rounds(int rounds) {
+  const auto& net = bench_net();
+  GroundTruthPolicy policy{&net.topology};
+  const Ipv4Prefix prefix = net.testbed_prefixes[0];
+  Engine engine{&net.topology, &policy, net.measurement_epoch};
+  engine.announce(prefix, net.testbed_asn);
+  engine.run();
+  std::vector<Asn> poison;
+  for (int round = 0; round < rounds; ++round) {
+    const auto* sel = engine.best(net.collector_peers[0], prefix);
+    if (sel == nullptr || sel->self_originated ||
+        sel->next_hop == net.testbed_asn)
+      break;
+    poison.push_back(sel->next_hop);
+    irp::AnnounceOptions options;
+    options.poison_set = poison;
+    engine.announce(prefix, net.testbed_asn, std::move(options));
+    engine.run();
+  }
+  return engine.messages_delivered();
+}
+
+template <typename Fn>
+double best_seconds(int repetitions, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repetitions; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(fn());
+    best = std::min(
+        best, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count());
+  }
+  return best;
+}
+
+struct Comparison {
+  double baseline_seconds = 0;
+  double engine_seconds = 0;
+  std::size_t messages = 0;
+  double speedup() const { return baseline_seconds / engine_seconds; }
+};
+
+void emit_json(const Comparison& corpus, const Comparison& poison,
+               const EngineCounters& counters) {
+  const auto& topo = bench_net().topology;
+  FILE* f = std::fopen("BENCH_engine.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_engine.json\n");
+    return;
+  }
+  const double hit_rate =
+      double(counters.intern_hits) /
+      double(counters.intern_hits + counters.paths_interned);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"engine_hotpath\",\n");
+  std::fprintf(f,
+               "  \"topology\": {\"ases\": %zu, \"links\": %zu, "
+               "\"prefixes\": %zu, \"batch\": %d},\n",
+               topo.num_ases(), topo.num_links(), all_origins().size(), kBatch);
+  std::fprintf(f,
+               "  \"corpus_convergence\": {\"baseline_seconds\": %.6f, "
+               "\"engine_seconds\": %.6f, \"speedup\": %.3f, "
+               "\"messages\": %zu, \"engine_msgs_per_sec\": %.0f},\n",
+               corpus.baseline_seconds, corpus.engine_seconds, corpus.speedup(),
+               corpus.messages, double(corpus.messages) / corpus.engine_seconds);
+  std::fprintf(f,
+               "  \"poisoning_reconvergence\": {\"baseline_seconds\": %.6f, "
+               "\"engine_seconds\": %.6f, \"speedup\": %.3f, "
+               "\"messages\": %zu},\n",
+               poison.baseline_seconds, poison.engine_seconds, poison.speedup(),
+               poison.messages);
+  std::fprintf(f,
+               "  \"intern\": {\"paths_interned\": %llu, \"intern_hits\": "
+               "%llu, \"hit_rate\": %.4f, \"path_bytes_saved\": %llu, "
+               "\"selections_run\": %llu, \"rib_routes_scanned\": %llu}\n",
+               (unsigned long long)counters.paths_interned,
+               (unsigned long long)counters.intern_hits, hit_rate,
+               (unsigned long long)counters.path_bytes_saved,
+               (unsigned long long)counters.selections_run,
+               (unsigned long long)counters.rib_routes_scanned);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_engine.json\n");
+}
+
+void print_hotpath() {
+  const auto& topo = bench_net().topology;
+  std::printf("Engine hot path — interned-path BgpEngine vs frozen baseline\n");
+  std::printf("(topology: %zu ASes, %zu links; %zu prefixes, batch %d)\n\n",
+              topo.num_ases(), topo.num_links(), all_origins().size(), kBatch);
+
+  constexpr int kReps = 3;
+  constexpr int kPoisonRounds = 12;
+
+  Comparison corpus;
+  EngineCounters counters;
+  corpus.messages = converge_corpus<BgpEngine>(0, &counters);
+  const std::size_t baseline_messages = converge_corpus<BaselineBgpEngine>(0);
+  if (corpus.messages != baseline_messages) {
+    std::fprintf(stderr, "message-count divergence: %zu vs %zu\n",
+                 corpus.messages, baseline_messages);
+    std::abort();  // Equivalence is the bar; a perf number would be a lie.
+  }
+  corpus.engine_seconds =
+      best_seconds(kReps, [] { return converge_corpus<BgpEngine>(0); });
+  corpus.baseline_seconds =
+      best_seconds(kReps, [] { return converge_corpus<BaselineBgpEngine>(0); });
+
+  Comparison poison;
+  poison.messages = converge_poison_rounds<BgpEngine>(kPoisonRounds);
+  if (poison.messages != converge_poison_rounds<BaselineBgpEngine>(kPoisonRounds)) {
+    std::fprintf(stderr, "poisoning message-count divergence\n");
+    std::abort();
+  }
+  poison.engine_seconds = best_seconds(
+      kReps, [] { return converge_poison_rounds<BgpEngine>(kPoisonRounds); });
+  poison.baseline_seconds = best_seconds(kReps, [] {
+    return converge_poison_rounds<BaselineBgpEngine>(kPoisonRounds);
+  });
+
+  std::printf("  %-26s %12s %12s %9s %14s\n", "workload", "baseline",
+              "engine", "speedup", "msgs/sec");
+  std::printf("  %-26s %10.3f s %10.3f s %8.2fx %14.0f\n",
+              "corpus convergence", corpus.baseline_seconds,
+              corpus.engine_seconds, corpus.speedup(),
+              double(corpus.messages) / corpus.engine_seconds);
+  std::printf("  %-26s %10.3f s %10.3f s %8.2fx %14.0f\n",
+              "poisoning re-convergence", poison.baseline_seconds,
+              poison.engine_seconds, poison.speedup(),
+              double(poison.messages) / poison.engine_seconds);
+
+  const double hit_rate =
+      double(counters.intern_hits) /
+      double(counters.intern_hits + counters.paths_interned);
+  std::printf("\n  intern: %llu paths, %.1f%% hit rate, %.2f MB of hop "
+              "copies avoided\n",
+              (unsigned long long)counters.paths_interned, 100.0 * hit_rate,
+              double(counters.path_bytes_saved) / (1024.0 * 1024.0));
+  std::printf("  decision process: %llu selections over %llu RIB routes\n\n",
+              (unsigned long long)counters.selections_run,
+              (unsigned long long)counters.rib_routes_scanned);
+
+  emit_json(corpus, poison, counters);
+}
+
+void BM_CorpusConvergence(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(converge_corpus<BgpEngine>(0));
+}
+BENCHMARK(BM_CorpusConvergence)->Unit(benchmark::kMillisecond);
+
+void BM_CorpusConvergenceBaseline(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(converge_corpus<BaselineBgpEngine>(0));
+}
+BENCHMARK(BM_CorpusConvergenceBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_PoisoningReconvergence(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(converge_poison_rounds<BgpEngine>(8));
+}
+BENCHMARK(BM_PoisoningReconvergence)->Unit(benchmark::kMillisecond);
+
+void BM_PoisoningReconvergenceBaseline(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(converge_poison_rounds<BaselineBgpEngine>(8));
+}
+BENCHMARK(BM_PoisoningReconvergenceBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_hotpath();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,320 @@
+#include "bgp/baseline_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace irp {
+namespace {
+
+/// Safety cap on activations per prefix, as a multiple of the AS count.
+/// Policy-induced oscillation (dispute wheels) is possible in principle with
+/// arbitrary local-pref deltas; the cap keeps runs bounded and flags them.
+constexpr std::size_t kActivationFactor = 64;
+
+}  // namespace
+
+BaselineBgpEngine::BaselineBgpEngine(const Topology* topo, const GroundTruthPolicy* policy,
+                     int epoch)
+    : topo_(topo), policy_(policy), epoch_(epoch) {
+  IRP_CHECK(topo_ != nullptr, "engine requires a topology");
+  IRP_CHECK(policy_ != nullptr, "engine requires a policy");
+}
+
+BaselineBgpEngine::PrefixState& BaselineBgpEngine::state_for(const Ipv4Prefix& prefix) {
+  auto it = index_.find(prefix);
+  if (it != index_.end()) return *states_[it->second];
+  auto st = std::make_unique<PrefixState>();
+  st->prefix = prefix;
+  st->per_as.resize(topo_->num_ases());
+  st->queued.resize(topo_->num_ases() + 1, false);
+  index_[prefix] = states_.size();
+  states_.push_back(std::move(st));
+  return *states_.back();
+}
+
+const BaselineBgpEngine::PrefixState* BaselineBgpEngine::find_state(
+    const Ipv4Prefix& prefix) const {
+  auto it = index_.find(prefix);
+  return it == index_.end() ? nullptr : states_[it->second].get();
+}
+
+void BaselineBgpEngine::announce(const Ipv4Prefix& prefix, Asn origin,
+                         AnnounceOptions options) {
+  IRP_CHECK(origin >= 1 && origin <= topo_->num_ases(), "bad origin ASN");
+  PrefixState& st = state_for(prefix);
+  IRP_CHECK(!st.originated || st.origin == origin,
+            "prefix already originated by a different AS");
+  st.origin = origin;
+  st.originated = true;
+  st.options = std::move(options);
+  // Force a full re-export at the origin, so option changes (new poison
+  // set, different announcement sites) propagate even when the selected
+  // route object itself compares equal.
+  st.per_as[origin - 1].force_export = true;
+  enqueue(st, origin);
+}
+
+void BaselineBgpEngine::withdraw(const Ipv4Prefix& prefix) {
+  PrefixState* st = const_cast<PrefixState*>(find_state(prefix));
+  if (st == nullptr || !st->originated) return;
+  st->originated = false;
+  st->per_as[st->origin - 1].force_export = true;
+  enqueue(*st, st->origin);
+}
+
+void BaselineBgpEngine::run() {
+  for (auto& stp : states_) {
+    PrefixState& st = *stp;
+    const std::size_t cap = kActivationFactor * (topo_->num_ases() + 1);
+    std::size_t activations = 0;
+    while (!st.queue.empty()) {
+      const Asn asn = st.queue.front();
+      st.queue.pop_front();
+      st.queued[asn] = false;
+      process(st, asn);
+      if (++activations > cap) {
+        converged_ = false;
+        // Drop remaining activations; the run is flagged as non-converged.
+        while (!st.queue.empty()) {
+          st.queued[st.queue.front()] = false;
+          st.queue.pop_front();
+        }
+        break;
+      }
+    }
+  }
+}
+
+void BaselineBgpEngine::enqueue(PrefixState& st, Asn asn) {
+  if (!st.queued[asn]) {
+    st.queued[asn] = true;
+    st.queue.push_back(asn);
+  }
+}
+
+std::optional<BaselineBgpEngine::Selected> BaselineBgpEngine::select(const PrefixState& st,
+                                                     Asn asn) const {
+  if (st.originated && st.origin == asn) {
+    Selected s;
+    s.path.poison_set = st.options.poison_set;
+    s.self_originated = true;
+    s.local_pref = 1 << 20;  // An origin always prefers its own prefix.
+    return s;
+  }
+
+  const PerAs& pa = st.per_as[asn - 1];
+  const Selected* best = nullptr;
+  Selected candidate;
+  std::optional<Selected> chosen;
+  for (const Route& r : pa.rib_in) {
+    const Link& link = topo_->link(r.via_link);
+    candidate = Selected{};
+    candidate.path = r.path;
+    candidate.via_link = r.via_link;
+    candidate.next_hop = r.from_asn;
+    candidate.age = r.received_at;
+    candidate.local_pref = policy_->local_pref(asn, link, r.path);
+    candidate.self_originated = false;
+    const Relationship rel = topo_->relationship_from(link, asn);
+    // Across sibling links the organizational class is inherited; the
+    // composite organization must obey Gao-Rexford toward the outside.
+    candidate.effective_class =
+        rel == Relationship::kSibling ? r.org_class : std::optional{rel};
+
+    if (best == nullptr) {
+      chosen = candidate;
+      best = &*chosen;
+      continue;
+    }
+    // Full decision process, most significant step first.
+    bool better = false;
+    if (candidate.local_pref != best->local_pref) {
+      better = candidate.local_pref > best->local_pref;
+    } else if (candidate.path.length() != best->path.length()) {
+      better = candidate.path.length() < best->path.length();
+    } else {
+      const int igp_new = topo_->igp_cost_from(link, asn);
+      const int igp_old =
+          topo_->igp_cost_from(topo_->link(best->via_link), asn);
+      if (igp_new != igp_old) {
+        better = igp_new < igp_old;
+      } else if (candidate.age != best->age) {
+        better = candidate.age < best->age;  // Oldest route wins.
+      } else if (candidate.next_hop != best->next_hop) {
+        better = candidate.next_hop < best->next_hop;  // Router-id stand-in.
+      } else {
+        better = candidate.via_link < best->via_link;
+      }
+    }
+    if (better) {
+      chosen = candidate;
+      best = &*chosen;
+    }
+  }
+  return chosen;
+}
+
+void BaselineBgpEngine::process(PrefixState& st, Asn asn) {
+  PerAs& pa = st.per_as[asn - 1];
+  std::optional<Selected> next = select(st, asn);
+
+  const bool changed = [&] {
+    if (pa.selected.has_value() != next.has_value()) return true;
+    if (!next) return false;
+    return pa.selected->path != next->path ||
+           pa.selected->via_link != next->via_link ||
+           pa.selected->self_originated != next->self_originated ||
+           pa.selected->effective_class != next->effective_class;
+  }();
+
+  if (!changed && !pa.force_export) return;
+  pa.force_export = false;
+  pa.selected = std::move(next);
+  export_from(st, asn);
+}
+
+void BaselineBgpEngine::export_from(PrefixState& st, Asn asn) {
+  PerAs& pa = st.per_as[asn - 1];
+  for (LinkId lid : topo_->links_of(asn)) {
+    const Link& link = topo_->link(lid);
+    if (!topo_->link_alive(link, epoch_)) continue;
+
+    bool allowed = pa.selected.has_value();
+    if (allowed && !pa.selected->self_originated) {
+      // Split horizon: never advertise back over the link the route came
+      // from (the neighbor would reject it by loop prevention anyway).
+      if (lid == pa.selected->via_link) allowed = false;
+      if (allowed)
+        allowed = policy_->export_ok(asn, pa.selected->effective_class, link,
+                                     st.prefix);
+    } else if (allowed) {
+      // Self-originated: respect per-site / selective announcement limits.
+      if (!st.options.only_links.empty() &&
+          std::find(st.options.only_links.begin(), st.options.only_links.end(),
+                    lid) == st.options.only_links.end())
+        allowed = false;
+      if (allowed)
+        allowed = policy_->export_ok(asn, std::nullopt, link, st.prefix);
+    }
+
+    if (allowed) {
+      AsPath out = pa.selected->path.prepend(asn);
+      if (pa.selected->self_originated) {
+        // Inbound TE: per-link AS-path prepending at the origin.
+        for (const auto& [plid, count] : st.options.prepend_on)
+          if (plid == lid)
+            out.hops.insert(out.hops.begin(), std::size_t(count), asn);
+      }
+      auto it = pa.sent.find(lid);
+      if (it != pa.sent.end() && it->second == out) continue;  // No change.
+      pa.sent[lid] = out;
+      deliver_update(st, asn, link, out,
+                     pa.selected->self_originated
+                         ? std::nullopt
+                         : pa.selected->effective_class);
+    } else {
+      auto it = pa.sent.find(lid);
+      if (it == pa.sent.end()) continue;  // Nothing previously advertised.
+      pa.sent.erase(it);
+      deliver_withdraw(st, asn, link);
+    }
+  }
+}
+
+void BaselineBgpEngine::deliver_update(PrefixState& st, Asn from, const Link& link,
+                               const AsPath& path,
+                               std::optional<Relationship> org_class) {
+  ++messages_;
+  const Asn to = topo_->other_end(link, from);
+  PerAs& pa = st.per_as[to - 1];
+
+  auto slot = std::find_if(pa.rib_in.begin(), pa.rib_in.end(),
+                           [&](const Route& r) { return r.via_link == link.id; });
+
+  if (path.contains(to)) {
+    // Loop prevention (this is what poisoning triggers): the announcement is
+    // rejected; if a previous route from this link existed it is implicitly
+    // withdrawn.
+    if (slot != pa.rib_in.end()) {
+      pa.rib_in.erase(slot);
+      enqueue(st, to);
+    }
+    return;
+  }
+
+  Route route;
+  route.path = path;
+  route.via_link = link.id;
+  route.from_asn = from;
+  route.received_at = ++clock_;
+  route.org_class = org_class;
+  if (slot != pa.rib_in.end()) {
+    // Replacement keeps the original age when the path is unchanged in all
+    // but attributes; a genuinely new path gets a fresh age.
+    if (slot->path == path) route.received_at = slot->received_at;
+    *slot = route;
+  } else {
+    pa.rib_in.push_back(route);
+  }
+  enqueue(st, to);
+}
+
+void BaselineBgpEngine::deliver_withdraw(PrefixState& st, Asn from, const Link& link) {
+  ++messages_;
+  const Asn to = topo_->other_end(link, from);
+  PerAs& pa = st.per_as[to - 1];
+  auto slot = std::find_if(pa.rib_in.begin(), pa.rib_in.end(),
+                           [&](const Route& r) { return r.via_link == link.id; });
+  if (slot != pa.rib_in.end()) {
+    pa.rib_in.erase(slot);
+    enqueue(st, to);
+  }
+}
+
+const BaselineBgpEngine::Selected* BaselineBgpEngine::best(Asn asn,
+                                           const Ipv4Prefix& prefix) const {
+  const PrefixState* st = find_state(prefix);
+  if (st == nullptr) return nullptr;
+  const auto& sel = st->per_as[asn - 1].selected;
+  return sel.has_value() ? &*sel : nullptr;
+}
+
+std::vector<Route> BaselineBgpEngine::routes_at(Asn asn,
+                                        const Ipv4Prefix& prefix) const {
+  const PrefixState* st = find_state(prefix);
+  if (st == nullptr) return {};
+  return st->per_as[asn - 1].rib_in;
+}
+
+std::optional<Asn> BaselineBgpEngine::forward_next_hop(Asn asn,
+                                               const Ipv4Prefix& prefix) const {
+  const Selected* sel = best(asn, prefix);
+  if (sel == nullptr || sel->self_originated) return std::nullopt;
+  return sel->next_hop;
+}
+
+std::vector<FeedEntry> BaselineBgpEngine::feed(std::span<const Asn> peers) const {
+  std::vector<FeedEntry> out;
+  for (const auto& stp : states_) {
+    for (Asn peer : peers) {
+      const auto& sel = stp->per_as[peer - 1].selected;
+      if (!sel.has_value()) continue;
+      FeedEntry e;
+      e.peer = peer;
+      e.prefix = stp->prefix;
+      e.path = sel->path.prepend(peer);
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+std::vector<Ipv4Prefix> BaselineBgpEngine::prefixes() const {
+  std::vector<Ipv4Prefix> out;
+  out.reserve(states_.size());
+  for (const auto& stp : states_) out.push_back(stp->prefix);
+  return out;
+}
+
+}  // namespace irp

@@ -14,20 +14,83 @@ constexpr std::size_t kActivationFactor = 64;
 
 }  // namespace
 
+// ---------------------------------------------------------------- StatePool
+
+BgpEngine::StatePool::StatePool() = default;
+BgpEngine::StatePool::~StatePool() = default;
+
+std::size_t BgpEngine::StatePool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+std::uint64_t BgpEngine::StatePool::reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuses_;
+}
+
+std::unique_ptr<BgpEngine::PrefixState> BgpEngine::StatePool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) return nullptr;
+  auto st = std::move(free_.back());
+  free_.pop_back();
+  ++reuses_;
+  return st;
+}
+
+void BgpEngine::StatePool::release(std::unique_ptr<PrefixState> st) {
+  if (st == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(st));
+}
+
+void BgpEngine::PrefixState::reset(std::size_t num_ases) {
+  prefix = Ipv4Prefix{};
+  origin = 0;
+  originated = false;
+  options = AnnounceOptions{};
+  origin_path = kEmptyPathId;
+  // Clear element-wise before resizing: clear() keeps each inner vector's
+  // capacity, which is the allocation the pool exists to recycle.
+  for (PerAs& pa : per_as) {
+    pa.rib_in.clear();
+    pa.selected.reset();
+    pa.force_export = false;
+    pa.sent.clear();
+  }
+  per_as.resize(num_ases);
+  queue.clear();
+  queued.assign(num_ases + 1, false);
+}
+
+// ---------------------------------------------------------------- BgpEngine
+
 BgpEngine::BgpEngine(const Topology* topo, const GroundTruthPolicy* policy,
-                     int epoch)
-    : topo_(topo), policy_(policy), epoch_(epoch) {
+                     int epoch, StatePool* pool)
+    : topo_(topo), policy_(policy), epoch_(epoch), pool_(pool) {
   IRP_CHECK(topo_ != nullptr, "engine requires a topology");
   IRP_CHECK(policy_ != nullptr, "engine requires a policy");
+}
+
+BgpEngine::~BgpEngine() {
+  if (pool_ == nullptr) return;
+  for (auto& st : states_) pool_->release(std::move(st));
 }
 
 BgpEngine::PrefixState& BgpEngine::state_for(const Ipv4Prefix& prefix) {
   auto it = index_.find(prefix);
   if (it != index_.end()) return *states_[it->second];
-  auto st = std::make_unique<PrefixState>();
+  std::unique_ptr<PrefixState> st;
+  if (pool_ != nullptr) st = pool_->acquire();
+  if (st != nullptr) {
+    ++states_reused_;
+    st->reset(topo_->num_ases());
+  } else {
+    st = std::make_unique<PrefixState>();
+    st->per_as.resize(topo_->num_ases());
+    st->queued.resize(topo_->num_ases() + 1, false);
+  }
   st->prefix = prefix;
-  st->per_as.resize(topo_->num_ases());
-  st->queued.resize(topo_->num_ases() + 1, false);
   index_[prefix] = states_.size();
   states_.push_back(std::move(st));
   return *states_.back();
@@ -48,6 +111,7 @@ void BgpEngine::announce(const Ipv4Prefix& prefix, Asn origin,
   st.origin = origin;
   st.originated = true;
   st.options = std::move(options);
+  st.origin_path = table_.root(st.options.poison_set);
   // Force a full re-export at the origin, so option changes (new poison
   // set, different announcement sites) propagate even when the selected
   // route object itself compares equal.
@@ -93,90 +157,96 @@ void BgpEngine::enqueue(PrefixState& st, Asn asn) {
   }
 }
 
-std::optional<BgpEngine::Selected> BgpEngine::select(const PrefixState& st,
-                                                     Asn asn) const {
-  if (st.originated && st.origin == asn) {
-    Selected s;
-    s.path.poison_set = st.options.poison_set;
-    s.self_originated = true;
-    s.local_pref = 1 << 20;  // An origin always prefers its own prefix.
-    return s;
-  }
-
-  const PerAs& pa = st.per_as[asn - 1];
-  const Selected* best = nullptr;
-  Selected candidate;
-  std::optional<Selected> chosen;
-  for (const Route& r : pa.rib_in) {
-    const Link& link = topo_->link(r.via_link);
-    candidate = Selected{};
-    candidate.path = r.path;
-    candidate.via_link = r.via_link;
-    candidate.next_hop = r.from_asn;
-    candidate.age = r.received_at;
-    candidate.local_pref = policy_->local_pref(asn, link, r.path);
-    candidate.self_originated = false;
-    const Relationship rel = topo_->relationship_from(link, asn);
-    // Across sibling links the organizational class is inherited; the
-    // composite organization must obey Gao-Rexford toward the outside.
-    candidate.effective_class =
-        rel == Relationship::kSibling ? r.org_class : std::optional{rel};
-
-    if (best == nullptr) {
-      chosen = candidate;
-      best = &*chosen;
-      continue;
-    }
-    // Full decision process, most significant step first.
-    bool better = false;
-    if (candidate.local_pref != best->local_pref) {
-      better = candidate.local_pref > best->local_pref;
-    } else if (candidate.path.length() != best->path.length()) {
-      better = candidate.path.length() < best->path.length();
-    } else {
-      const int igp_new = topo_->igp_cost_from(link, asn);
-      const int igp_old =
-          topo_->igp_cost_from(topo_->link(best->via_link), asn);
-      if (igp_new != igp_old) {
-        better = igp_new < igp_old;
-      } else if (candidate.age != best->age) {
-        better = candidate.age < best->age;  // Oldest route wins.
-      } else if (candidate.next_hop != best->next_hop) {
-        better = candidate.next_hop < best->next_hop;  // Router-id stand-in.
-      } else {
-        better = candidate.via_link < best->via_link;
-      }
-    }
-    if (better) {
-      chosen = candidate;
-      best = &*chosen;
-    }
-  }
-  return chosen;
+bool BgpEngine::preferred(const RibRoute& a, const RibRoute& b) const {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  const std::size_t len_a = table_.length(a.path);
+  const std::size_t len_b = table_.length(b.path);
+  if (len_a != len_b) return len_a < len_b;
+  if (a.igp_cost != b.igp_cost) return a.igp_cost < b.igp_cost;
+  if (a.received_at != b.received_at)
+    return a.received_at < b.received_at;  // Oldest route wins.
+  if (a.from_asn != b.from_asn)
+    return a.from_asn < b.from_asn;  // Router-id stand-in.
+  return a.via_link < b.via_link;
 }
 
 void BgpEngine::process(PrefixState& st, Asn asn) {
   PerAs& pa = st.per_as[asn - 1];
-  std::optional<Selected> next = select(st, asn);
+  ++selections_;
+
+  // Run the decision process without materializing anything: the winner is
+  // described by (path id, attributes); only a *changed* selection pays for
+  // an AsPath materialization below.
+  bool have = false;
+  PathId next_path = kEmptyPathId;
+  LinkId next_via = kInvalidLink;
+  Asn next_hop = 0;
+  LogicalTime next_age = 0;
+  int next_lp = 0;
+  bool next_self = false;
+  std::optional<Relationship> next_class;
+
+  if (st.originated && st.origin == asn) {
+    have = true;
+    next_path = st.origin_path;
+    next_self = true;
+    next_lp = 1 << 20;  // An origin always prefers its own prefix.
+  } else {
+    rib_scanned_ += pa.rib_in.size();
+    const RibRoute* best = nullptr;
+    for (const RibRoute& r : pa.rib_in)
+      if (best == nullptr || preferred(r, *best)) best = &r;
+    if (best != nullptr) {
+      have = true;
+      next_path = best->path;
+      next_via = best->via_link;
+      next_hop = best->from_asn;
+      next_age = best->received_at;
+      next_lp = best->local_pref;
+      next_class = best->effective_class;
+    }
+  }
 
   const bool changed = [&] {
-    if (pa.selected.has_value() != next.has_value()) return true;
-    if (!next) return false;
-    return pa.selected->path != next->path ||
-           pa.selected->via_link != next->via_link ||
-           pa.selected->self_originated != next->self_originated ||
-           pa.selected->effective_class != next->effective_class;
+    if (pa.selected.has_value() != have) return true;
+    if (!have) return false;
+    // Path equality is id equality: both sides are interned in table_.
+    return pa.selected->path_id != next_path ||
+           pa.selected->via_link != next_via ||
+           pa.selected->self_originated != next_self ||
+           pa.selected->effective_class != next_class;
   }();
 
   if (!changed && !pa.force_export) return;
   pa.force_export = false;
-  pa.selected = std::move(next);
+  if (have) {
+    // Update in place, reusing the previous Selected's vector capacities;
+    // the materialized path is refreshed lazily on the next best() access.
+    if (!pa.selected.has_value()) pa.selected.emplace();
+    Selected& s = *pa.selected;
+    s.path_id = next_path;
+    s.path_cached = false;
+    s.via_link = next_via;
+    s.next_hop = next_hop;
+    s.age = next_age;
+    s.local_pref = next_lp;
+    s.self_originated = next_self;
+    s.effective_class = next_class;
+  } else {
+    pa.selected.reset();
+  }
   export_from(st, asn);
 }
 
 void BgpEngine::export_from(PrefixState& st, Asn asn) {
   PerAs& pa = st.per_as[asn - 1];
-  for (LinkId lid : topo_->links_of(asn)) {
+  const auto& links = topo_->links_of(asn);
+  if (pa.sent.size() != links.size()) pa.sent.assign(links.size(), kNotSent);
+  // The exported path is the same for every link (modulo per-link TE, rare);
+  // intern the prepend once per export, not once per delivery.
+  PathId out_base = kNotSent;
+  for (std::size_t slot = 0; slot < links.size(); ++slot) {
+    const LinkId lid = links[slot];
     const Link& link = topo_->link(lid);
     if (!topo_->link_alive(link, epoch_)) continue;
 
@@ -199,40 +269,43 @@ void BgpEngine::export_from(PrefixState& st, Asn asn) {
     }
 
     if (allowed) {
-      AsPath out = pa.selected->path.prepend(asn);
+      if (out_base == kNotSent)
+        out_base = table_.prepend(pa.selected->path_id, asn);
+      else
+        table_.note_reuse(out_base);
+      PathId out = out_base;
       if (pa.selected->self_originated) {
         // Inbound TE: per-link AS-path prepending at the origin.
         for (const auto& [plid, count] : st.options.prepend_on)
           if (plid == lid)
-            out.hops.insert(out.hops.begin(), std::size_t(count), asn);
+            out = table_.prepend_n(out, asn, std::size_t(count));
       }
-      auto it = pa.sent.find(lid);
-      if (it != pa.sent.end() && it->second == out) continue;  // No change.
-      pa.sent[lid] = out;
+      if (pa.sent[slot] == out) continue;  // No change.
+      pa.sent[slot] = out;
       deliver_update(st, asn, link, out,
                      pa.selected->self_originated
                          ? std::nullopt
                          : pa.selected->effective_class);
     } else {
-      auto it = pa.sent.find(lid);
-      if (it == pa.sent.end()) continue;  // Nothing previously advertised.
-      pa.sent.erase(it);
+      if (pa.sent[slot] == kNotSent) continue;  // Nothing previously sent.
+      pa.sent[slot] = kNotSent;
       deliver_withdraw(st, asn, link);
     }
   }
 }
 
 void BgpEngine::deliver_update(PrefixState& st, Asn from, const Link& link,
-                               const AsPath& path,
+                               PathId path,
                                std::optional<Relationship> org_class) {
   ++messages_;
   const Asn to = topo_->other_end(link, from);
   PerAs& pa = st.per_as[to - 1];
 
-  auto slot = std::find_if(pa.rib_in.begin(), pa.rib_in.end(),
-                           [&](const Route& r) { return r.via_link == link.id; });
+  auto slot =
+      std::find_if(pa.rib_in.begin(), pa.rib_in.end(),
+                   [&](const RibRoute& r) { return r.via_link == link.id; });
 
-  if (path.contains(to)) {
+  if (table_.contains(path, to)) {
     // Loop prevention (this is what poisoning triggers): the announcement is
     // rejected; if a previous route from this link existed it is implicitly
     // withdrawn.
@@ -243,12 +316,21 @@ void BgpEngine::deliver_update(PrefixState& st, Asn from, const Link& link,
     return;
   }
 
-  Route route;
+  RibRoute route;
   route.path = path;
   route.via_link = link.id;
   route.from_asn = from;
   route.received_at = ++clock_;
   route.org_class = org_class;
+  // Decision-process attributes are fixed per (receiver, link, path): cache
+  // them here so select() never calls back into policy or topology.
+  const Relationship rel = topo_->relationship_from(link, to);
+  // Across sibling links the organizational class is inherited; the
+  // composite organization must obey Gao-Rexford toward the outside.
+  route.effective_class =
+      rel == Relationship::kSibling ? org_class : std::optional{rel};
+  route.igp_cost = topo_->igp_cost_from(link, to);
+  route.local_pref = policy_->local_pref(to, link, table_, path);
   if (slot != pa.rib_in.end()) {
     // Replacement keeps the original age when the path is unchanged in all
     // but attributes; a genuinely new path gets a fresh age.
@@ -264,8 +346,9 @@ void BgpEngine::deliver_withdraw(PrefixState& st, Asn from, const Link& link) {
   ++messages_;
   const Asn to = topo_->other_end(link, from);
   PerAs& pa = st.per_as[to - 1];
-  auto slot = std::find_if(pa.rib_in.begin(), pa.rib_in.end(),
-                           [&](const Route& r) { return r.via_link == link.id; });
+  auto slot =
+      std::find_if(pa.rib_in.begin(), pa.rib_in.end(),
+                   [&](const RibRoute& r) { return r.via_link == link.id; });
   if (slot != pa.rib_in.end()) {
     pa.rib_in.erase(slot);
     enqueue(st, to);
@@ -276,15 +359,35 @@ const BgpEngine::Selected* BgpEngine::best(Asn asn,
                                            const Ipv4Prefix& prefix) const {
   const PrefixState* st = find_state(prefix);
   if (st == nullptr) return nullptr;
-  const auto& sel = st->per_as[asn - 1].selected;
-  return sel.has_value() ? &*sel : nullptr;
+  auto& sel = const_cast<PrefixState*>(st)->per_as[asn - 1].selected;
+  if (!sel.has_value()) return nullptr;
+  if (!sel->path_cached) {
+    // Lazy materialization cache refresh; logically const. Not safe for
+    // concurrent first access, but engines are never shared across threads
+    // (build_corpus gives each job a private engine).
+    table_.materialize_into(sel->path_id, sel->path);
+    sel->path_cached = true;
+  }
+  return &*sel;
 }
 
 std::vector<Route> BgpEngine::routes_at(Asn asn,
                                         const Ipv4Prefix& prefix) const {
   const PrefixState* st = find_state(prefix);
   if (st == nullptr) return {};
-  return st->per_as[asn - 1].rib_in;
+  const auto& rib = st->per_as[asn - 1].rib_in;
+  std::vector<Route> out;
+  out.reserve(rib.size());
+  for (const RibRoute& r : rib) {
+    Route route;
+    route.path = table_.materialize(r.path);
+    route.via_link = r.via_link;
+    route.from_asn = r.from_asn;
+    route.received_at = r.received_at;
+    route.org_class = r.org_class;
+    out.push_back(std::move(route));
+  }
+  return out;
 }
 
 std::optional<Asn> BgpEngine::forward_next_hop(Asn asn,
@@ -296,6 +399,8 @@ std::optional<Asn> BgpEngine::forward_next_hop(Asn asn,
 
 std::vector<FeedEntry> BgpEngine::feed(std::span<const Asn> peers) const {
   std::vector<FeedEntry> out;
+  // Upper bound; prefixes unreachable from a peer are the exception.
+  out.reserve(states_.size() * peers.size());
   for (const auto& stp : states_) {
     for (Asn peer : peers) {
       const auto& sel = stp->per_as[peer - 1].selected;
@@ -303,7 +408,12 @@ std::vector<FeedEntry> BgpEngine::feed(std::span<const Asn> peers) const {
       FeedEntry e;
       e.peer = peer;
       e.prefix = stp->prefix;
-      e.path = sel->path.prepend(peer);
+      // Materialize "peer prepended" directly into the entry: one exact-size
+      // allocation, no intermediate AsPath copy.
+      e.path.hops.reserve(table_.num_hops(sel->path_id) + 1);
+      e.path.hops.push_back(peer);
+      table_.append_hops(sel->path_id, e.path.hops);
+      e.path.poison_set = table_.poison_set(sel->path_id);
       out.push_back(std::move(e));
     }
   }
@@ -315,6 +425,18 @@ std::vector<Ipv4Prefix> BgpEngine::prefixes() const {
   out.reserve(states_.size());
   for (const auto& stp : states_) out.push_back(stp->prefix);
   return out;
+}
+
+EngineCounters BgpEngine::counters() const {
+  const PathTable::Stats& ps = table_.stats();
+  EngineCounters c;
+  c.paths_interned = ps.nodes;
+  c.intern_hits = ps.hits;
+  c.path_bytes_saved = ps.bytes_saved;
+  c.selections_run = selections_;
+  c.rib_routes_scanned = rib_scanned_;
+  c.states_reused = states_reused_;
+  return c;
 }
 
 }  // namespace irp

@@ -11,15 +11,27 @@
 // and logical time advances monotonically, so route ages are meaningful
 // across experiment stages (the magnet/anycast experiment needs this).
 // Everything is deterministic: activations drain in FIFO order.
+//
+// Hot-path representation (see DESIGN.md "Engine internals"): all AS paths
+// live in an engine-local PathTable, so RIB entries and sent-state hold
+// 4-byte PathIds, prepending on export is an O(1) intern, path equality is
+// an integer compare, and the decision process runs allocation-free over
+// attributes cached at delivery time. The frozen pre-PathTable engine is
+// kept in bgp/baseline_engine.hpp as a correctness oracle and perf baseline;
+// test_engine_equivalence asserts both produce byte-identical results.
 #pragma once
 
+#include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "bgp/path_table.hpp"
 #include "bgp/policy.hpp"
 #include "bgp/route.hpp"
 #include "topo/topology.hpp"
@@ -38,11 +50,58 @@ struct AnnounceOptions {
   std::vector<std::pair<LinkId, int>> prepend_on;
 };
 
+/// Cheap always-on instrumentation, surfaced next to messages_delivered().
+/// EXPERIMENTS.md explains how to read these.
+struct EngineCounters {
+  std::uint64_t paths_interned = 0;    ///< Distinct paths in the path table.
+  std::uint64_t intern_hits = 0;       ///< Prepends/interns served from it.
+  std::uint64_t path_bytes_saved = 0;  ///< Hop-vector bytes sharing avoided.
+  std::uint64_t selections_run = 0;    ///< Decision-process invocations.
+  std::uint64_t rib_routes_scanned = 0;  ///< RIB entries examined by them.
+  std::uint64_t states_reused = 0;     ///< PrefixStates recycled from a pool.
+};
+
 /// Per-prefix BGP simulator over a ground-truth topology.
 class BgpEngine {
+ private:
+  struct PrefixState;  // Defined below; needed by StatePool.
+
  public:
-  /// `epoch` selects which links are alive (topology evolution).
-  BgpEngine(const Topology* topo, const GroundTruthPolicy* policy, int epoch);
+  /// Recycles per-prefix engine state (the O(num_ases) per-AS vectors)
+  /// across short-lived engines over the same topology — build_corpus spawns
+  /// one engine per (epoch, batch) job, and without pooling every job
+  /// re-mallocs the full O(num_ases · batch) state. Thread-safe; engines on
+  /// different pool threads may share one StatePool.
+  class StatePool {
+   public:
+    StatePool();
+    ~StatePool();
+    StatePool(const StatePool&) = delete;
+    StatePool& operator=(const StatePool&) = delete;
+
+    /// States currently parked and ready for reuse.
+    std::size_t available() const;
+    /// Total acquisitions served by recycling instead of allocation.
+    std::uint64_t reuses() const;
+
+   private:
+    friend class BgpEngine;
+    std::unique_ptr<PrefixState> acquire();
+    void release(std::unique_ptr<PrefixState> st);
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<PrefixState>> free_;
+    std::uint64_t reuses_ = 0;
+  };
+
+  /// `epoch` selects which links are alive (topology evolution). A non-null
+  /// `pool` donates recycled PrefixStates and receives them back when the
+  /// engine is destroyed.
+  BgpEngine(const Topology* topo, const GroundTruthPolicy* policy, int epoch,
+            StatePool* pool = nullptr);
+  ~BgpEngine();
+  BgpEngine(const BgpEngine&) = delete;
+  BgpEngine& operator=(const BgpEngine&) = delete;
 
   /// Originates (or re-originates, replacing options of) `prefix` at
   /// `origin`. Call run() afterwards to converge.
@@ -58,7 +117,13 @@ class BgpEngine {
   /// The route an AS selected for a prefix.
   struct Selected {
     /// Path toward the origin, *excluding* this AS (empty at the origin).
+    /// `path_id` is the interned handle in the owning engine's path table;
+    /// `path` is materialized from it lazily on the first best() access
+    /// (`path_cached` tracks freshness), so convergence itself never
+    /// allocates hop vectors.
     AsPath path;
+    PathId path_id = kEmptyPathId;
+    bool path_cached = true;
     LinkId via_link = kInvalidLink;
     Asn next_hop = 0;           ///< 0 when self-originated.
     LogicalTime age = 0;        ///< Arrival time of the selected route.
@@ -74,6 +139,9 @@ class BgpEngine {
 
   /// All accepted Adj-RIB-In routes of `asn` for `prefix` (at most one per
   /// link), in link order. Used by the reverse-engineering analyses.
+  /// NOTE: this *materializes a copy* — each Route carries a freshly
+  /// allocated AsPath — so hoist the call out of loops; the engine's own hot
+  /// path never uses it.
   std::vector<Route> routes_at(Asn asn, const Ipv4Prefix& prefix) const;
 
   /// Data-plane next hop of `asn` for `prefix`; nullopt when unrouted or
@@ -93,16 +161,47 @@ class BgpEngine {
   bool converged() const { return converged_; }
   const Topology& topology() const { return *topo_; }
 
+  /// Interned-path storage; ids in Selected::path_id index into it.
+  const PathTable& paths() const { return table_; }
+
+  /// Instrumentation snapshot (merges engine and path-table counters).
+  EngineCounters counters() const;
+
  private:
+  /// Sentinel for PerAs::sent slots: nothing advertised over that link.
+  /// (No real advertisement can be the empty path either — export always
+  /// prepends the sender — but an explicit sentinel keeps intent obvious.)
+  static constexpr PathId kNotSent = 0xFFFFFFFFu;
+
+  /// An accepted Adj-RIB-In entry. Everything the decision process compares
+  /// is cached here at delivery time (it depends only on the receiving AS,
+  /// the link, and the path — all fixed per entry), so select() touches no
+  /// policy/topology code and allocates nothing.
+  struct RibRoute {
+    PathId path = kEmptyPathId;
+    LinkId via_link = 0;
+    Asn from_asn = 0;
+    LogicalTime received_at = 0;
+    int local_pref = 0;  ///< Import local-pref at the receiving AS.
+    int igp_cost = 0;    ///< IGP cost from the receiver's backbone.
+    /// Organizational route class as received (carried across siblings).
+    std::optional<Relationship> org_class;
+    /// Class governing selection/export at the receiving AS.
+    std::optional<Relationship> effective_class;
+  };
+
   struct PerAs {
     /// Accepted routes, at most one per adjacent link.
-    std::vector<Route> rib_in;
+    std::vector<RibRoute> rib_in;
     std::optional<Selected> selected;
     /// Forces the next process() to re-run exports even if the selection
     /// compares equal (set by announce/withdraw when options change).
     bool force_export = false;
-    /// Last path advertised per outgoing link (absent = withdrawn/never).
-    std::map<LinkId, AsPath> sent;
+    /// Last path advertised per outgoing link, indexed by the link's
+    /// position in the AS's adjacency list (kNotSent = withdrawn/never).
+    /// Sized lazily on first export; a flat slot array beats a sorted
+    /// vector here because export walks the adjacency list in order anyway.
+    std::vector<PathId> sent;
   };
 
   struct PrefixState {
@@ -110,9 +209,16 @@ class BgpEngine {
     Asn origin = 0;
     bool originated = false;
     AnnounceOptions options;
+    /// Interned root for the origin's (possibly poisoned) announcement,
+    /// fixed at announce() so process() never re-interns the poison set.
+    PathId origin_path = kEmptyPathId;
     std::vector<PerAs> per_as;
     std::deque<Asn> queue;
     std::vector<bool> queued;
+
+    /// Clears for reuse, keeping the per-AS vector capacities (the point of
+    /// the pool).
+    void reset(std::size_t num_ases);
   };
 
   PrefixState& state_for(const Ipv4Prefix& prefix);
@@ -120,20 +226,25 @@ class BgpEngine {
 
   void enqueue(PrefixState& st, Asn asn);
   void process(PrefixState& st, Asn asn);
-  std::optional<Selected> select(const PrefixState& st, Asn asn) const;
+  /// Full decision process, most significant step first: does `a` beat `b`?
+  bool preferred(const RibRoute& a, const RibRoute& b) const;
   void export_from(PrefixState& st, Asn asn);
   void deliver_update(PrefixState& st, Asn from, const Link& link,
-                      const AsPath& path,
-                      std::optional<Relationship> org_class);
+                      PathId path, std::optional<Relationship> org_class);
   void deliver_withdraw(PrefixState& st, Asn from, const Link& link);
 
   const Topology* topo_;
   const GroundTruthPolicy* policy_;
   int epoch_;
+  StatePool* pool_;
   LogicalTime clock_ = 0;
   std::size_t messages_ = 0;
   bool converged_ = true;
-  std::map<Ipv4Prefix, std::size_t> index_;
+  PathTable table_;
+  std::uint64_t selections_ = 0;
+  std::uint64_t rib_scanned_ = 0;
+  std::uint64_t states_reused_ = 0;
+  std::unordered_map<Ipv4Prefix, std::size_t, Ipv4PrefixHash> index_;
   std::vector<std::unique_ptr<PrefixState>> states_;
 };
 

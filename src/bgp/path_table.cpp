@@ -1,0 +1,106 @@
+#include "bgp/path_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace irp {
+namespace {
+
+std::uint64_t intern_key(Asn head, PathId tail) {
+  return (std::uint64_t{head} << 32) | tail;
+}
+
+}  // namespace
+
+PathTable::PathTable() {
+  // A convergence over a realistic topology interns tens of thousands of
+  // paths; pre-sizing the probe table avoids every rehash on that trajectory
+  // for the cost of a ~1 MB bucket array (dwarfed by the engine's RIB state).
+  intern_.reserve(1 << 17);
+  nodes_.reserve(1 << 12);
+  nodes_.push_back(Node{});  // kEmptyPathId: empty hops, empty poison set.
+  poison_sets_.emplace_back();
+  roots_[{}] = kEmptyPathId;
+  stats_.nodes = 1;
+}
+
+PathId PathTable::root(std::span<const Asn> poison_set) {
+  if (poison_set.empty()) return kEmptyPathId;
+  std::vector<Asn> key{poison_set.begin(), poison_set.end()};
+  auto it = roots_.find(key);
+  if (it != roots_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  const PathId id = static_cast<PathId>(nodes_.size());
+  Node node;
+  node.tail = id;
+  node.poison = static_cast<std::uint32_t>(poison_sets_.size());
+  poison_sets_.push_back(key);
+  nodes_.push_back(node);
+  roots_.emplace(std::move(key), id);
+  ++stats_.nodes;
+  ++stats_.poison_sets;
+  return id;
+}
+
+PathId PathTable::prepend(PathId id, Asn head) {
+  IRP_CHECK(head != 0, "cannot prepend ASN 0");
+  auto [it, inserted] = intern_.try_emplace(intern_key(head, id), 0);
+  if (!inserted) {
+    ++stats_.hits;
+    // The copy this hit avoided would have duplicated the whole hop vector.
+    stats_.bytes_saved += (num_hops(it->second)) * sizeof(Asn);
+    return it->second;
+  }
+  const PathId node_id = static_cast<PathId>(nodes_.size());
+  Node node;
+  node.head = head;
+  node.tail = id;
+  node.num_hops = nodes_[id].num_hops + 1;
+  node.poison = nodes_[id].poison;
+  nodes_.push_back(node);
+  it->second = node_id;
+  ++stats_.nodes;
+  return node_id;
+}
+
+PathId PathTable::prepend_n(PathId id, Asn head, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) id = prepend(id, head);
+  return id;
+}
+
+PathId PathTable::intern(const AsPath& path) {
+  PathId id = root(path.poison_set);
+  for (auto it = path.hops.rbegin(); it != path.hops.rend(); ++it)
+    id = prepend(id, *it);
+  return id;
+}
+
+bool PathTable::contains(PathId id, Asn asn) const {
+  for (PathId cur = id; nodes_[cur].num_hops > 0; cur = nodes_[cur].tail)
+    if (nodes_[cur].head == asn) return true;
+  const auto& poison = poison_sets_[nodes_[id].poison];
+  return std::find(poison.begin(), poison.end(), asn) != poison.end();
+}
+
+void PathTable::append_hops(PathId id, std::vector<Asn>& out) const {
+  out.reserve(out.size() + num_hops(id));
+  for_each_hop(id, [&](Asn asn) { out.push_back(asn); });
+}
+
+AsPath PathTable::materialize(PathId id) const {
+  AsPath out;
+  materialize_into(id, out);
+  return out;
+}
+
+void PathTable::materialize_into(PathId id, AsPath& out) const {
+  out.hops.clear();
+  out.hops.reserve(num_hops(id));
+  for_each_hop(id, [&](Asn asn) { out.hops.push_back(asn); });
+  out.poison_set = poison_set(id);
+}
+
+}  // namespace irp

@@ -1,0 +1,138 @@
+// Hash-consed AS-path storage for the BGP engine.
+//
+// Every AS path that exists during a convergence is a prepend of some other
+// path (its neighbor's path), so the set of live paths forms a tree rooted at
+// the origin's (empty) announcement. PathTable stores that tree explicitly:
+// each node is (head ASN, parent id) and interning guarantees one node per
+// distinct path, so
+//   * prepend()   is an O(1) hash probe instead of a full vector copy,
+//   * equality    is a single integer compare (same table, same id),
+//   * length()    is a cached field read,
+//   * contains()  is an O(depth) walk of small nodes (loop prevention).
+//
+// Poisoned AS-sets (§3.2) are part of a path's identity — two paths with the
+// same hops but different poison sets must not compare equal, and loop
+// prevention fires on poison members too. The table therefore interns poison
+// sets separately and roots each announcement's tree at an "empty path +
+// poison set" node; every node inherits its root's poison id, so the poison
+// lookup stays O(1).
+//
+// Ids are only meaningful within the table that produced them. A table is
+// engine-local and not thread-safe; concurrent engines each own one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace irp {
+
+/// Handle to an interned path; valid for the lifetime of its PathTable.
+using PathId = std::uint32_t;
+
+/// The empty path (no hops, no poison set), pre-interned in every table.
+inline constexpr PathId kEmptyPathId = 0;
+
+class PathTable {
+ public:
+  PathTable();
+
+  /// Intern/lookup counters, cheap enough to keep always-on.
+  struct Stats {
+    std::uint64_t nodes = 0;        ///< Distinct paths interned (tree nodes).
+    std::uint64_t hits = 0;         ///< Intern requests served from the table.
+    std::uint64_t bytes_saved = 0;  ///< Hop-vector bytes not copied on hits.
+    std::uint64_t poison_sets = 0;  ///< Distinct non-empty poison sets.
+  };
+
+  /// The empty path carrying `poison_set` (interned; empty set = kEmptyPathId).
+  PathId root(std::span<const Asn> poison_set);
+
+  /// The path `head · id`: `id` with one hop prepended. O(1) amortized.
+  PathId prepend(PathId id, Asn head);
+
+  /// `head` prepended `count` times (origin-side AS-path prepending).
+  PathId prepend_n(PathId id, Asn head, std::size_t count);
+
+  /// Interns a materialized AsPath (hops + poison set).
+  PathId intern(const AsPath& path);
+
+  /// Credits a prepend the caller avoided by reusing `id` directly (e.g. the
+  /// engine fanning one exported path out over several links). Keeps the
+  /// sharing counters meaningful after hot-path hoisting: each reuse is a
+  /// hop-vector copy a value-based representation would have made.
+  void note_reuse(PathId id) {
+    ++stats_.hits;
+    stats_.bytes_saved += num_hops(id) * sizeof(Asn);
+  }
+
+  /// Number of hops (excluding the poison set).
+  std::size_t num_hops(PathId id) const { return nodes_[id].num_hops; }
+
+  /// BGP path length: hops plus one for a non-empty poison set.
+  std::size_t length(PathId id) const {
+    const Node& n = nodes_[id];
+    return n.num_hops + (n.poison == 0 ? 0 : 1);
+  }
+
+  /// First (most recent) hop; 0 for an empty path.
+  Asn front(PathId id) const { return nodes_[id].head; }
+
+  /// Loop prevention: true if `asn` is a hop or a poison-set member.
+  bool contains(PathId id, Asn asn) const;
+
+  /// The path's poison set (empty vector for unpoisoned paths).
+  const std::vector<Asn>& poison_set(PathId id) const {
+    return poison_sets_[nodes_[id].poison];
+  }
+
+  /// Visits hops front (most recent) to back (origin).
+  template <typename Fn>
+  void for_each_hop(PathId id, Fn&& fn) const {
+    for (PathId cur = id; nodes_[cur].num_hops > 0; cur = nodes_[cur].tail)
+      fn(nodes_[cur].head);
+  }
+
+  /// True if `fn` holds for every hop (vacuously true for the empty path);
+  /// stops walking at the first failure.
+  template <typename Fn>
+  bool all_of_hops(PathId id, Fn&& fn) const {
+    for (PathId cur = id; nodes_[cur].num_hops > 0; cur = nodes_[cur].tail)
+      if (!fn(nodes_[cur].head)) return false;
+    return true;
+  }
+
+  /// Appends the hops (front to back) to `out`.
+  void append_hops(PathId id, std::vector<Asn>& out) const;
+
+  /// Materializes the full AsPath value (one hop-vector allocation).
+  AsPath materialize(PathId id) const;
+
+  /// Materializes into an existing AsPath, reusing its vector capacities.
+  void materialize_into(PathId id, AsPath& out) const;
+
+  std::size_t num_paths() const { return nodes_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    Asn head = 0;        ///< Most recent hop; 0 for root (empty) paths.
+    PathId tail = 0;     ///< Rest of the path; self-referential for roots.
+    std::uint32_t num_hops = 0;
+    std::uint32_t poison = 0;  ///< Index into poison_sets_, inherited from root.
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<Asn>> poison_sets_;  ///< [0] is the empty set.
+  /// (head, tail) -> node id; the 64-bit key is collision-free by
+  /// construction (two 32-bit halves), so lookups never compare paths.
+  std::unordered_map<std::uint64_t, PathId> intern_;
+  std::map<std::vector<Asn>, PathId> roots_;  ///< poison set -> root node.
+  Stats stats_;
+};
+
+}  // namespace irp

@@ -21,8 +21,7 @@ GroundTruthPolicy::GroundTruthPolicy(const Topology* topo, PolicyConfig config)
   IRP_CHECK(topo_ != nullptr, "policy requires a topology");
 }
 
-int GroundTruthPolicy::local_pref(Asn self, const Link& link,
-                                  const AsPath& path) const {
+int GroundTruthPolicy::local_pref_base(Asn self, const Link& link) const {
   const AsNode& node = topo_->as_node(self);
   const Relationship rel = topo_->relationship_from(link, self);
 
@@ -37,9 +36,22 @@ int GroundTruthPolicy::local_pref(Asn self, const Link& link,
       case Relationship::kProvider: base = config_.lp_provider; break;
     }
   }
+  return base + topo_->lp_delta_from(link, self);
+}
 
-  int pref = base + topo_->lp_delta_from(link, self);
-  if (node.prefers_domestic && path_is_domestic(self, path))
+int GroundTruthPolicy::local_pref(Asn self, const Link& link,
+                                  const AsPath& path) const {
+  int pref = local_pref_base(self, link);
+  if (topo_->as_node(self).prefers_domestic && path_is_domestic(self, path))
+    pref += config_.domestic_bonus;
+  return pref;
+}
+
+int GroundTruthPolicy::local_pref(Asn self, const Link& link,
+                                  const PathTable& table, PathId path) const {
+  int pref = local_pref_base(self, link);
+  if (topo_->as_node(self).prefers_domestic &&
+      path_is_domestic(self, table, path))
     pref += config_.domestic_bonus;
   return pref;
 }
@@ -49,6 +61,14 @@ bool GroundTruthPolicy::path_is_domestic(Asn self, const AsPath& path) const {
   for (Asn asn : path.hops)
     if (topo_->as_node(asn).home_country != home) return false;
   return true;
+}
+
+bool GroundTruthPolicy::path_is_domestic(Asn self, const PathTable& table,
+                                         PathId path) const {
+  const CountryId home = topo_->as_node(self).home_country;
+  return table.all_of_hops(path, [&](Asn asn) {
+    return topo_->as_node(asn).home_country == home;
+  });
 }
 
 bool GroundTruthPolicy::export_ok(Asn self,

@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "bgp/path_table.hpp"
 #include "bgp/route.hpp"
 #include "topo/topology.hpp"
 
@@ -39,9 +40,17 @@ class GroundTruthPolicy {
   /// Local preference `self` assigns to a route learned over `link`.
   int local_pref(Asn self, const Link& link, const AsPath& path) const;
 
+  /// Interned-path overload used by the engine hot path: identical result,
+  /// but walks the path tree instead of requiring a materialized AsPath.
+  int local_pref(Asn self, const Link& link, const PathTable& table,
+                 PathId path) const;
+
   /// True if every AS on `path` (and `self`) is registered in the same
   /// country as `self`.
   bool path_is_domestic(Asn self, const AsPath& path) const;
+
+  /// Interned-path overload of path_is_domestic.
+  bool path_is_domestic(Asn self, const PathTable& table, PathId path) const;
 
   /// May `self` export a route to the neighbor over `out_link`?
   /// `learned_rel` is the relationship class the route was learned from
@@ -57,6 +66,9 @@ class GroundTruthPolicy {
   const PolicyConfig& config() const { return config_; }
 
  private:
+  /// Relationship/TE part of local-pref, shared by both overloads.
+  int local_pref_base(Asn self, const Link& link) const;
+
   const Topology* topo_;
   PolicyConfig config_;
 };

@@ -47,10 +47,14 @@ void build_corpus(const GeneratedInternet& net, const GroundTruthPolicy& policy,
          start += static_cast<std::size_t>(batch))
       jobs.push_back({epoch, start});
 
+  // Engines are short-lived (one per job) but their per-prefix state is
+  // O(num_ases · batch); the shared pool recycles it across jobs instead of
+  // re-mallocing it for every (epoch, batch).
+  BgpEngine::StatePool state_pool;
   const std::vector<std::vector<FeedEntry>> feeds =
       pool.parallel_map(jobs.size(), [&](std::size_t j) {
         const Job& job = jobs[j];
-        BgpEngine engine{&topo, &policy, job.epoch};
+        BgpEngine engine{&topo, &policy, job.epoch, &state_pool};
         const std::size_t end = std::min(
             origins.size(), job.start + static_cast<std::size_t>(batch));
         for (std::size_t i = job.start; i < end; ++i)

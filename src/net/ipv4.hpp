@@ -80,4 +80,20 @@ class Ipv4Prefix {
   int length_ = 0;
 };
 
+/// Hash functor for prefix-keyed unordered containers. Mixes the network
+/// address and length through a 64-bit finalizer so dense address plans
+/// (consecutive /24s differ only in a few middle bits) still spread evenly.
+struct Ipv4PrefixHash {
+  std::size_t operator()(const Ipv4Prefix& p) const {
+    std::uint64_t x =
+        (std::uint64_t{p.network().value()} << 8) | std::uint64_t(p.length());
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
 }  // namespace irp

@@ -1,0 +1,150 @@
+// PathTable unit tests: hash-consing semantics (same path <=> same id),
+// prepend/contains/length, poison-set identity, and a randomized stress run
+// that cross-checks the table against materialized AsPath values.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bgp/path_table.hpp"
+#include "util/rng.hpp"
+
+namespace irp {
+namespace {
+
+TEST(PathTable, EmptyPath) {
+  PathTable table;
+  EXPECT_EQ(table.num_hops(kEmptyPathId), 0u);
+  EXPECT_EQ(table.length(kEmptyPathId), 0u);
+  EXPECT_EQ(table.front(kEmptyPathId), 0u);
+  EXPECT_FALSE(table.contains(kEmptyPathId, 1));
+  EXPECT_TRUE(table.poison_set(kEmptyPathId).empty());
+  const AsPath empty = table.materialize(kEmptyPathId);
+  EXPECT_TRUE(empty.hops.empty());
+  EXPECT_TRUE(empty.poison_set.empty());
+  // The empty root is pre-interned.
+  EXPECT_EQ(table.root({}), kEmptyPathId);
+}
+
+TEST(PathTable, PrependBuildsFrontToBack) {
+  PathTable table;
+  // Announce at 30, then 20 prepends, then 10: front must be most recent.
+  PathId p = table.prepend(kEmptyPathId, 30);
+  p = table.prepend(p, 20);
+  p = table.prepend(p, 10);
+  EXPECT_EQ(table.num_hops(p), 3u);
+  EXPECT_EQ(table.front(p), 10u);
+  const AsPath path = table.materialize(p);
+  EXPECT_EQ(path.hops, (std::vector<Asn>{10, 20, 30}));
+  EXPECT_EQ(path.to_string(), "10 20 30");
+}
+
+TEST(PathTable, InterningIsCanonical) {
+  PathTable table;
+  PathId a = table.prepend(table.prepend(kEmptyPathId, 2), 1);
+  PathId b = table.prepend(table.prepend(kEmptyPathId, 2), 1);
+  EXPECT_EQ(a, b);  // Equality is id equality.
+
+  AsPath as_value;
+  as_value.hops = {1, 2};
+  EXPECT_EQ(table.intern(as_value), a);
+  // Sharing: [1 2] and [3 2] share the [2] suffix node.
+  PathId c = table.prepend(table.prepend(kEmptyPathId, 2), 3);
+  EXPECT_NE(c, a);
+  EXPECT_EQ(table.materialize(c).hops, (std::vector<Asn>{3, 2}));
+}
+
+TEST(PathTable, ContainsWalksHopsAndPoison) {
+  PathTable table;
+  PathId p = table.prepend(table.prepend(kEmptyPathId, 7), 5);
+  EXPECT_TRUE(table.contains(p, 5));
+  EXPECT_TRUE(table.contains(p, 7));
+  EXPECT_FALSE(table.contains(p, 6));
+
+  PathId poisoned = table.prepend(table.root(std::vector<Asn>{42, 43}), 5);
+  EXPECT_TRUE(table.contains(poisoned, 42));
+  EXPECT_TRUE(table.contains(poisoned, 43));
+  EXPECT_TRUE(table.contains(poisoned, 5));
+  EXPECT_FALSE(table.contains(poisoned, 44));
+}
+
+TEST(PathTable, PoisonSetIsPartOfIdentityAndLength) {
+  PathTable table;
+  const PathId plain = table.prepend(kEmptyPathId, 9);
+  const PathId poisoned = table.prepend(table.root(std::vector<Asn>{1}), 9);
+  EXPECT_NE(plain, poisoned);
+  // BGP length counts a non-empty AS-set as one hop.
+  EXPECT_EQ(table.length(plain), 1u);
+  EXPECT_EQ(table.length(poisoned), 2u);
+  EXPECT_EQ(table.num_hops(poisoned), 1u);
+  EXPECT_EQ(table.poison_set(poisoned), (std::vector<Asn>{1}));
+
+  // Same poison set twice -> same root, same derived ids.
+  EXPECT_EQ(table.root(std::vector<Asn>{1}),
+            table.root(std::vector<Asn>{1}));
+  EXPECT_EQ(table.prepend(table.root(std::vector<Asn>{1}), 9), poisoned);
+  // Different order = different set value (the engine never reorders).
+  EXPECT_NE(table.root(std::vector<Asn>{1, 2}),
+            table.root(std::vector<Asn>{2, 1}));
+}
+
+TEST(PathTable, PrependN) {
+  PathTable table;
+  PathId p = table.prepend(kEmptyPathId, 4);
+  p = table.prepend(p, 8);
+  p = table.prepend_n(p, 8, 3);  // Origin-side prepending.
+  EXPECT_EQ(table.materialize(p).hops, (std::vector<Asn>{8, 8, 8, 8, 4}));
+  EXPECT_EQ(table.prepend_n(p, 8, 0), p);
+}
+
+TEST(PathTable, StatsCountHitsAndSharing) {
+  PathTable table;
+  const auto nodes_before = table.stats().nodes;
+  PathId p = table.prepend(kEmptyPathId, 1);
+  EXPECT_EQ(table.stats().nodes, nodes_before + 1);
+  const auto hits_before = table.stats().hits;
+  EXPECT_EQ(table.prepend(kEmptyPathId, 1), p);
+  EXPECT_EQ(table.stats().hits, hits_before + 1);
+  EXPECT_GT(table.stats().bytes_saved, 0u);
+}
+
+TEST(PathTable, RandomizedStressRoundTrips) {
+  // Intern a few thousand random paths (with occasional poison sets) and
+  // verify (a) materialization round-trips exactly, (b) value-equality and
+  // id-equality coincide, (c) contains() agrees with the materialized value.
+  // This also hammers the intern map with many (head, tail) keys sharing
+  // low bits — the closest thing to a collision stress the 64-bit key
+  // admits.
+  PathTable table;
+  Rng rng{20260805};
+  std::map<std::string, PathId> seen;
+  for (int i = 0; i < 4000; ++i) {
+    AsPath value;
+    const std::size_t len = 1 + rng.index(12);
+    for (std::size_t h = 0; h < len; ++h)
+      value.hops.push_back(Asn(1 + rng.index(50)));
+    if (rng.chance(0.2))
+      for (std::size_t s = 0; s < 1 + rng.index(3); ++s)
+        value.poison_set.push_back(Asn(1 + rng.index(50)));
+
+    const PathId id = table.intern(value);
+    const AsPath back = table.materialize(id);
+    ASSERT_EQ(back, value) << back.to_string();
+    ASSERT_EQ(table.num_hops(id), value.hops.size());
+    ASSERT_EQ(table.length(id), value.length());
+
+    const std::string key = value.to_string();
+    auto [it, inserted] = seen.emplace(key, id);
+    ASSERT_EQ(it->second, id) << "same value must intern to the same id";
+
+    for (Asn probe = 1; probe <= 50; ++probe)
+      ASSERT_EQ(table.contains(id, probe), value.contains(probe))
+          << key << " probe " << probe;
+  }
+  // Sharing must have happened: far fewer nodes than total hops interned.
+  EXPECT_GT(table.stats().hits, 0u);
+  EXPECT_LT(table.stats().nodes, 4000u * 6);
+}
+
+}  // namespace
+}  // namespace irp
