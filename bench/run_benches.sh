@@ -42,4 +42,18 @@ done
 
 printf '\nRecorded baselines:\n'
 ls -l "$repo_root"/BENCH_*.json 2>/dev/null || echo '  (none emitted)'
+
+# Every emitted baseline must be well-formed JSON — a malformed file would
+# poison later perf diffs silently.
+if command -v python3 >/dev/null 2>&1; then
+  for json in "$repo_root"/BENCH_*.json; do
+    [ -f "$json" ] || continue
+    if python3 -m json.tool "$json" >/dev/null 2>&1; then
+      printf 'json ok: %s\n' "$(basename "$json")"
+    else
+      printf 'MALFORMED JSON: %s\n' "$json"
+      status=1
+    fi
+  done
+fi
 exit "$status"

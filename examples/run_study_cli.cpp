@@ -1,9 +1,30 @@
 // Command-line study driver: run the full reproduction with custom
 // parameters and export every artifact (text tables, CSV data series,
-// topology snapshots, CAIDA-format relationship dumps).
+// topology snapshots, CAIDA-format relationship dumps), or drive the
+// RouteOracle serving layer over a frozen study.
 //
 //   run_study_cli [--seed N] [--scale N] [--threads N] [--out DIR]
 //                 [--no-active] [--save-topology FILE] [--caida-out FILE]
+//
+//   run_study_cli snapshot --out FILE [--seed N] [--scale N] [--threads N]
+//       Run the passive study and freeze it into a binary oracle snapshot.
+//
+//   run_study_cli query --snapshot FILE [--queries FILE]
+//       Load a snapshot and answer queries synchronously (deterministic,
+//       single-threaded). Queries come from --queries or stdin, one per
+//       line:
+//         classify DECIDER NEXT_HOP DEST PREFIX REMAINING
+//                  [hybrid] [siblings] [psp1|psp2]   (flags on the same line)
+//         routes ASN PREFIX
+//         psp ORIGIN NEIGHBOR PREFIX
+//         rel A B
+//
+//   run_study_cli serve --snapshot FILE [--workers N] [--queue N]
+//                       [--queries FILE]
+//       Same query stream, but submitted through the concurrent
+//       OracleService (bounded queue + worker pool); prints each response
+//       in submission order, then the service stats. Overloaded
+//       submissions are reported as "rejected (queue full)".
 //
 // --scale multiplies the edge population (stubs and access ISPs); the
 // default (1) matches the paper-calibrated configuration. --threads runs
@@ -12,12 +33,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/report_io.hpp"
 #include "core/study.hpp"
 #include "inference/serialize.hpp"
+#include "serve/oracle_service.hpp"
 #include "topo/serialize.hpp"
+#include "util/check.hpp"
 #include "util/file.hpp"
 #include "util/strings.hpp"
 
@@ -26,17 +54,232 @@ using namespace irp;
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--seed N] [--scale N] [--threads N] [--out DIR]\n"
-               "          [--no-active] [--save-topology FILE]\n"
-               "          [--caida-out FILE]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--scale N] [--threads N] [--out DIR]\n"
+      "          [--no-active] [--save-topology FILE] [--caida-out FILE]\n"
+      "       %s snapshot --out FILE [--seed N] [--scale N] [--threads N]\n"
+      "       %s query --snapshot FILE [--queries FILE]\n"
+      "       %s serve --snapshot FILE [--workers N] [--queue N]\n"
+      "          [--queries FILE]\n",
+      argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
-}  // namespace
+/// Parses one query line into a request; nullopt for blank/comment lines.
+/// Malformed lines throw CheckError with a line-scoped message.
+std::optional<OracleRequest> parse_query(const std::string& line) {
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb) || verb[0] == '#') return std::nullopt;
 
-int main(int argc, char** argv) {
+  auto asn = [&]() -> Asn {
+    unsigned long long v = 0;
+    IRP_CHECK(static_cast<bool>(in >> v), "query: missing ASN in: " + line);
+    return static_cast<Asn>(v);
+  };
+  auto prefix = [&]() -> Ipv4Prefix {
+    std::string text;
+    IRP_CHECK(static_cast<bool>(in >> text),
+              "query: missing prefix in: " + line);
+    const auto p = Ipv4Prefix::parse(text);
+    IRP_CHECK(p.has_value(), "query: bad prefix '" + text + "' in: " + line);
+    return *p;
+  };
+
+  if (verb == "classify") {
+    ClassifyRequest req;
+    req.decision.decider = asn();
+    req.decision.next_hop = asn();
+    req.decision.dest_asn = asn();
+    req.decision.dst_prefix = prefix();
+    unsigned long long remaining = 0;
+    IRP_CHECK(static_cast<bool>(in >> remaining),
+              "query: missing remaining length in: " + line);
+    req.decision.remaining_len = static_cast<std::size_t>(remaining);
+    std::string flag;
+    while (in >> flag) {
+      if (flag == "hybrid")
+        req.scenario.use_hybrid = true;
+      else if (flag == "siblings")
+        req.scenario.use_siblings = true;
+      else if (flag == "psp1")
+        req.scenario.psp = PspMode::kCriteria1;
+      else if (flag == "psp2")
+        req.scenario.psp = PspMode::kCriteria2;
+      else
+        IRP_CHECK(false, "query: unknown scenario flag '" + flag + "'");
+    }
+    return OracleRequest{req};
+  }
+  if (verb == "routes") {
+    AlternateRoutesRequest req;
+    req.asn = asn();
+    req.prefix = prefix();
+    return OracleRequest{req};
+  }
+  if (verb == "psp") {
+    PspVisibilityRequest req;
+    req.origin = asn();
+    req.neighbor = asn();
+    req.prefix = prefix();
+    return OracleRequest{req};
+  }
+  if (verb == "rel") {
+    RelationshipLookupRequest req;
+    req.a = asn();
+    req.b = asn();
+    return OracleRequest{req};
+  }
+  IRP_CHECK(false, "query: unknown verb '" + verb + "'");
+}
+
+std::vector<OracleRequest> read_queries(const std::string& queries_file) {
+  std::ifstream file;
+  if (!queries_file.empty()) {
+    file.open(queries_file);
+    IRP_CHECK(file.is_open(), "cannot open queries file " + queries_file);
+  }
+  std::istream& in = queries_file.empty() ? std::cin : file;
+  std::vector<OracleRequest> out;
+  std::string line;
+  while (std::getline(in, line))
+    if (auto req = parse_query(line)) out.push_back(std::move(*req));
+  return out;
+}
+
+StudyConfig parse_study_flags(int argc, char** argv, int first,
+                              std::string* out_path) {
+  StudyConfig config;
+  int scale = 1;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seed")
+      config.generator.seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--scale")
+      scale = std::atoi(next());
+    else if (arg == "--threads")
+      config.passive.parallel.threads = std::atoi(next());
+    else if (arg == "--out")
+      *out_path = next();
+    else
+      usage(argv[0]);
+  }
+  if (scale < 1) usage(argv[0]);
+  config.generator.stubs_per_country *= scale;
+  config.generator.small_isps_per_country *= scale;
+  config.run_active = false;  // The oracle serves the passive study.
+  return config;
+}
+
+int cmd_snapshot(int argc, char** argv) {
+  std::string out_path;
+  const StudyConfig config = parse_study_flags(argc, argv, 2, &out_path);
+  if (out_path.empty()) usage(argv[0]);
+
+  std::printf("Running passive study (seed=%llu)...\n",
+              static_cast<unsigned long long>(config.generator.seed));
+  const StudyResults r = run_full_study(config);
+  const OracleSnapshot snap = snapshot_study(r.passive);
+  snap.save(out_path);
+  std::printf(
+      "wrote oracle snapshot to %s (%zu relationships, %zu prefixes, "
+      "%zu route entries, %zu interned paths)\n",
+      out_path.c_str(), snap.relationships.size(), snap.routes.size(),
+      snap.num_route_entries(), static_cast<std::size_t>(snap.paths.num_paths()));
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  std::string snapshot_path, queries_file;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--snapshot")
+      snapshot_path = next();
+    else if (arg == "--queries")
+      queries_file = next();
+    else
+      usage(argv[0]);
+  }
+  if (snapshot_path.empty()) usage(argv[0]);
+
+  const OracleSnapshot snap = OracleSnapshot::load(snapshot_path);
+  const OracleIndex index(&snap);
+  OracleService service(&index, OracleService::Config{0, 1});
+
+  for (const OracleRequest& request : read_queries(queries_file))
+    std::printf("%s\n", to_text(service.answer(request)).c_str());
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string snapshot_path, queries_file;
+  OracleService::Config service_config;
+  service_config.worker_threads = 2;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--snapshot")
+      snapshot_path = next();
+    else if (arg == "--queries")
+      queries_file = next();
+    else if (arg == "--workers")
+      service_config.worker_threads = std::atoi(next());
+    else if (arg == "--queue")
+      service_config.queue_capacity =
+          static_cast<std::size_t>(std::atoll(next()));
+    else
+      usage(argv[0]);
+  }
+  if (snapshot_path.empty() || service_config.worker_threads < 1)
+    usage(argv[0]);
+
+  const OracleSnapshot snap = OracleSnapshot::load(snapshot_path);
+  const OracleIndex index(&snap);
+  OracleService service(&index, service_config);
+
+  const std::vector<OracleRequest> queries = read_queries(queries_file);
+  std::vector<OracleService::Submitted> submitted;
+  submitted.reserve(queries.size());
+  for (const OracleRequest& request : queries)
+    submitted.push_back(service.submit(request));
+  for (OracleService::Submitted& s : submitted) {
+    if (!s.accepted)
+      std::printf("rejected (queue full)\n");
+    else
+      std::printf("%s\n", to_text(s.response.get()).c_str());
+  }
+  service.shutdown();
+
+  const OracleStatsView stats = service.stats();
+  std::printf("# served=%llu rejected=%llu peak_queue=%zu cache_hit_rate=%.3f\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.rejected),
+              stats.peak_queue_depth, stats.cache.hit_rate());
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    const auto& pt = stats.per_type[t];
+    if (pt.served == 0 && pt.rejected == 0) continue;
+    std::printf("#   %s: served=%llu rejected=%llu p50=%.1fus p99=%.1fus\n",
+                std::string(query_type_name(static_cast<QueryType>(t))).c_str(),
+                static_cast<unsigned long long>(pt.served),
+                static_cast<unsigned long long>(pt.rejected), pt.p50_us,
+                pt.p99_us);
+  }
+  return 0;
+}
+
+int cmd_legacy(int argc, char** argv) {
   StudyConfig config;
   std::string out_dir;
   std::string topology_file;
@@ -95,4 +338,21 @@ int main(int argc, char** argv) {
                 caida_file.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0)
+      return cmd_snapshot(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "query") == 0)
+      return cmd_query(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+      return cmd_serve(argc, argv);
+    return cmd_legacy(argc, argv);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -96,6 +96,71 @@ AsPath PathTable::materialize(PathId id) const {
   return out;
 }
 
+PathTable PathTable::from_flat(std::span<const FlatNode> nodes,
+                               std::vector<std::vector<Asn>> poison_sets) {
+  IRP_CHECK(!nodes.empty(), "flat path table has no nodes");
+  IRP_CHECK(!poison_sets.empty() && poison_sets[0].empty(),
+            "flat path table poison pool must start with the empty set");
+  const FlatNode& root0 = nodes[0];
+  IRP_CHECK(root0.head == 0 && root0.tail == 0 && root0.num_hops == 0 &&
+                root0.poison == 0,
+            "flat path table node 0 is not the empty root");
+
+  PathTable table;
+  table.nodes_.clear();
+  table.nodes_.reserve(nodes.size());
+  table.poison_sets_ = std::move(poison_sets);
+  table.roots_.clear();
+  table.roots_[{}] = kEmptyPathId;
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const FlatNode& fn = nodes[i];
+    IRP_CHECK(fn.poison < table.poison_sets_.size(),
+              "flat path table node references a missing poison set");
+    if (fn.num_hops == 0) {
+      // A root: self-referential tail, no head. Node 0 is the empty root;
+      // every other root must carry a distinct non-empty poison set.
+      IRP_CHECK(fn.head == 0 && fn.tail == i,
+                "flat path table root node is malformed");
+      if (i > 0) {
+        IRP_CHECK(!table.poison_sets_[fn.poison].empty(),
+                  "flat path table duplicates the empty root");
+        const bool inserted =
+            table.roots_
+                .emplace(table.poison_sets_[fn.poison],
+                         static_cast<PathId>(i))
+                .second;
+        IRP_CHECK(inserted, "flat path table has duplicate poison roots");
+      }
+    } else {
+      IRP_CHECK(fn.head != 0, "flat path table hop node has no head");
+      IRP_CHECK(fn.tail < i, "flat path table tail does not precede node");
+      const FlatNode& tail = nodes[fn.tail];
+      IRP_CHECK(fn.num_hops == tail.num_hops + 1,
+                "flat path table hop count is inconsistent");
+      IRP_CHECK(fn.poison == tail.poison,
+                "flat path table poison id not inherited from tail");
+      const bool inserted =
+          table.intern_
+              .try_emplace(intern_key(fn.head, fn.tail),
+                           static_cast<PathId>(i))
+              .second;
+      IRP_CHECK(inserted, "flat path table has duplicate interned nodes");
+    }
+    Node node;
+    node.head = fn.head;
+    node.tail = fn.tail;
+    node.num_hops = fn.num_hops;
+    node.poison = fn.poison;
+    table.nodes_.push_back(node);
+  }
+
+  table.stats_ = Stats{};
+  table.stats_.nodes = table.nodes_.size();
+  table.stats_.poison_sets = table.poison_sets_.size() - 1;
+  return table;
+}
+
 void PathTable::materialize_into(PathId id, AsPath& out) const {
   out.hops.clear();
   out.hops.reserve(num_hops(id));

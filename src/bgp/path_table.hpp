@@ -118,6 +118,38 @@ class PathTable {
   std::size_t num_paths() const { return nodes_.size(); }
   const Stats& stats() const { return stats_; }
 
+  // -- Snapshot hooks (RouteOracle binary images, see src/serve/).
+  //
+  // A table serializes as its flat node array plus the poison-set pool; ids
+  // survive the round trip unchanged, so route records referencing PathIds
+  // stay valid against the rebuilt table.
+
+  /// One node of the flat image; mirrors the private Node layout.
+  struct FlatNode {
+    Asn head = 0;
+    PathId tail = 0;
+    std::uint32_t num_hops = 0;
+    std::uint32_t poison = 0;
+  };
+
+  /// The flat image of one node (`id < num_paths()`).
+  FlatNode flat_node(PathId id) const {
+    const Node& n = nodes_[id];
+    return FlatNode{n.head, n.tail, n.num_hops, n.poison};
+  }
+
+  std::size_t num_poison_sets() const { return poison_sets_.size(); }
+  const std::vector<Asn>& poison_set_at(std::size_t index) const {
+    return poison_sets_[index];
+  }
+
+  /// Rebuilds a table from a flat image in O(nodes). Every tree invariant is
+  /// re-validated (tails precede their node, hop counts are consistent,
+  /// poison ids inherited, no duplicate intern entries); malformed input
+  /// throws CheckError instead of producing a table with undefined walks.
+  static PathTable from_flat(std::span<const FlatNode> nodes,
+                             std::vector<std::vector<Asn>> poison_sets);
+
  private:
   struct Node {
     Asn head = 0;        ///< Most recent hop; 0 for root (empty) paths.

@@ -1,8 +1,11 @@
 #include "core/report_io.hpp"
 
+#include <filesystem>
 #include <sstream>
+#include <system_error>
 
 #include "core/looking_glass.hpp"
+#include "util/check.hpp"
 #include "util/file.hpp"
 #include "util/strings.hpp"
 
@@ -155,6 +158,12 @@ std::string psp_csv(const PspValidationReport& r) {
 
 int write_all_reports(const StudyResults& results,
                       const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  IRP_CHECK(!ec, "cannot create report directory " + directory + ": " +
+                     ec.message());
+  IRP_CHECK(std::filesystem::is_directory(directory, ec),
+            "report path is not a directory: " + directory);
   const auto path = [&](const char* name) {
     return directory + "/" + name + ".csv";
   };

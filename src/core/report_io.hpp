@@ -22,8 +22,10 @@ std::string table4_csv(const Table4Report& r);
 std::string alternate_csv(const AlternateRouteReport& r);
 std::string psp_csv(const PspValidationReport& r);
 
-/// Writes every report of a study into `directory` (must exist) as
-/// <name>.csv files. Returns the number of files written.
+/// Writes every report of a study into `directory` (created, including
+/// parents, if missing) as <name>.csv files. Returns the number of files
+/// written. Throws CheckError with the failing path when the directory
+/// cannot be created or a file cannot be written (e.g. unwritable target).
 int write_all_reports(const StudyResults& results,
                       const std::string& directory);
 

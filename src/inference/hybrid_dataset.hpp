@@ -44,6 +44,9 @@ class HybridDataset {
   bool is_partial_transit(Asn provider, Asn customer) const;
 
   const std::vector<HybridEntry>& entries() const { return entries_; }
+  const std::vector<std::pair<Asn, Asn>>& partial_transit() const {
+    return partial_transit_;
+  }
   std::size_t num_partial_transit() const { return partial_transit_.size(); }
 
  private:

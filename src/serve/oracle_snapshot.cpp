@@ -1,0 +1,377 @@
+#include "serve/oracle_snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/passive_study.hpp"
+#include "util/check.hpp"
+#include "util/file.hpp"
+
+namespace irp {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 24;  // magic + version + size + checksum.
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Little-endian append-only buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void prefix(const Ipv4Prefix& p) {
+    u32(p.network().value());
+    u8(static_cast<std::uint8_t>(p.length()));
+  }
+  void asns(const std::vector<Asn>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (Asn a : v) u32(a);
+  }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.append(c, n);  // Little-endian hosts only, like the rest of irp.
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian cursor; every overrun throws CheckError.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  Ipv4Prefix prefix() {
+    const std::uint32_t network = u32();
+    const int length = u8();
+    IRP_CHECK(length <= 32, "oracle snapshot: prefix length out of range");
+    return Ipv4Prefix{Ipv4Addr{network}, length};
+  }
+  std::vector<Asn> asns() {
+    const std::uint32_t n = count(sizeof(Asn));
+    std::vector<Asn> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(u32());
+    return out;
+  }
+  /// Reads an element count and verifies the remaining bytes can hold it
+  /// (`min_elem_bytes` per element) before the caller allocates.
+  std::uint32_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    IRP_CHECK(std::uint64_t{n} * min_elem_bytes <= remaining(),
+              "oracle snapshot: truncated payload (count exceeds bytes)");
+    return n;
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) {
+    IRP_CHECK(n <= remaining(), "oracle snapshot: truncated payload");
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t OracleSnapshot::num_route_entries() const {
+  std::size_t n = 0;
+  for (const PrefixRoutes& pr : routes) n += pr.entries.size();
+  return n;
+}
+
+std::string OracleSnapshot::to_bytes() const {
+  ByteWriter w;
+  w.u32(num_ases);
+
+  w.u32(static_cast<std::uint32_t>(relationships.size()));
+  for (const RelationshipEntry& r : relationships) {
+    w.u32(r.a);
+    w.u32(r.b);
+    w.u8(r.rel);
+  }
+
+  w.u32(static_cast<std::uint32_t>(sibling_groups.size()));
+  for (const auto& group : sibling_groups) w.asns(group);
+
+  w.u32(static_cast<std::uint32_t>(hybrid_entries.size()));
+  for (const HybridRecord& h : hybrid_entries) {
+    w.u32(h.a);
+    w.u32(h.b);
+    w.u32(h.city);
+    w.u8(h.rel);
+  }
+  w.u32(static_cast<std::uint32_t>(partial_transit.size()));
+  for (const auto& [provider, customer] : partial_transit) {
+    w.u32(provider);
+    w.u32(customer);
+  }
+
+  w.u32(static_cast<std::uint32_t>(observations.size()));
+  for (const ObservationBlock& block : observations) {
+    w.prefix(block.prefix);
+    w.u32(static_cast<std::uint32_t>(block.pairs.size()));
+    for (const auto& [origin, neighbor] : block.pairs) {
+      w.u32(origin);
+      w.u32(neighbor);
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(paths.num_paths()));
+  for (PathId id = 0; id < paths.num_paths(); ++id) {
+    const PathTable::FlatNode n = paths.flat_node(id);
+    w.u32(n.head);
+    w.u32(n.tail);
+    w.u32(n.num_hops);
+    w.u32(n.poison);
+  }
+  w.u32(static_cast<std::uint32_t>(paths.num_poison_sets()));
+  for (std::size_t i = 0; i < paths.num_poison_sets(); ++i)
+    w.asns(paths.poison_set_at(i));
+
+  w.u32(static_cast<std::uint32_t>(routes.size()));
+  for (const PrefixRoutes& pr : routes) {
+    w.prefix(pr.prefix);
+    w.u32(pr.origin);
+    w.u32(static_cast<std::uint32_t>(pr.entries.size()));
+    for (const RouteEntry& e : pr.entries) {
+      w.u32(e.asn);
+      w.u32(e.selected);
+      w.u32(e.next_hop);
+      w.u8(e.self_originated ? 1 : 0);
+      w.u32(static_cast<std::uint32_t>(e.alternates.size()));
+      for (const AlternateRoute& alt : e.alternates) {
+        w.u32(alt.path);
+        w.u32(alt.from_asn);
+      }
+    }
+  }
+
+  const std::string payload = w.take();
+  ByteWriter header;
+  header.u32(kOracleSnapshotMagic);
+  header.u32(kOracleSnapshotVersion);
+  header.u64(payload.size());
+  header.u64(fnv1a64(payload));
+  return header.take() + payload;
+}
+
+OracleSnapshot OracleSnapshot::from_bytes(std::string_view bytes) {
+  IRP_CHECK(bytes.size() >= kHeaderBytes,
+            "oracle snapshot: image smaller than header");
+  ByteReader header{bytes.substr(0, kHeaderBytes)};
+  IRP_CHECK(header.u32() == kOracleSnapshotMagic,
+            "oracle snapshot: bad magic (not an oracle snapshot)");
+  const std::uint32_t version = header.u32();
+  IRP_CHECK(version == kOracleSnapshotVersion,
+            "oracle snapshot: unsupported version " + std::to_string(version));
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  IRP_CHECK(payload_size == bytes.size() - kHeaderBytes,
+            "oracle snapshot: truncated image (payload size mismatch)");
+  const std::string_view payload = bytes.substr(kHeaderBytes);
+  IRP_CHECK(fnv1a64(payload) == checksum,
+            "oracle snapshot: checksum mismatch (corrupted image)");
+
+  ByteReader r{payload};
+  OracleSnapshot snap;
+  snap.num_ases = r.u32();
+
+  const std::uint32_t num_rel = r.count(9);
+  snap.relationships.reserve(num_rel);
+  for (std::uint32_t i = 0; i < num_rel; ++i) {
+    RelationshipEntry e;
+    e.a = r.u32();
+    e.b = r.u32();
+    e.rel = r.u8();
+    IRP_CHECK(e.rel <= 2, "oracle snapshot: invalid relationship label");
+    snap.relationships.push_back(e);
+  }
+
+  const std::uint32_t num_groups = r.count(4);
+  snap.sibling_groups.reserve(num_groups);
+  for (std::uint32_t i = 0; i < num_groups; ++i)
+    snap.sibling_groups.push_back(r.asns());
+
+  const std::uint32_t num_hybrid = r.count(13);
+  snap.hybrid_entries.reserve(num_hybrid);
+  for (std::uint32_t i = 0; i < num_hybrid; ++i) {
+    HybridRecord h;
+    h.a = r.u32();
+    h.b = r.u32();
+    h.city = r.u32();
+    h.rel = r.u8();
+    IRP_CHECK(h.rel <= 3, "oracle snapshot: invalid hybrid relationship");
+    snap.hybrid_entries.push_back(h);
+  }
+  const std::uint32_t num_partial = r.count(8);
+  snap.partial_transit.reserve(num_partial);
+  for (std::uint32_t i = 0; i < num_partial; ++i) {
+    const Asn provider = r.u32();
+    const Asn customer = r.u32();
+    snap.partial_transit.emplace_back(provider, customer);
+  }
+
+  const std::uint32_t num_obs = r.count(9);
+  snap.observations.reserve(num_obs);
+  for (std::uint32_t i = 0; i < num_obs; ++i) {
+    ObservationBlock block;
+    block.prefix = r.prefix();
+    const std::uint32_t num_pairs = r.count(8);
+    block.pairs.reserve(num_pairs);
+    for (std::uint32_t p = 0; p < num_pairs; ++p) {
+      const Asn origin = r.u32();
+      const Asn neighbor = r.u32();
+      block.pairs.emplace_back(origin, neighbor);
+    }
+    snap.observations.push_back(std::move(block));
+  }
+
+  const std::uint32_t num_nodes = r.count(16);
+  std::vector<PathTable::FlatNode> nodes;
+  nodes.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    PathTable::FlatNode n;
+    n.head = r.u32();
+    n.tail = r.u32();
+    n.num_hops = r.u32();
+    n.poison = r.u32();
+    nodes.push_back(n);
+  }
+  const std::uint32_t num_poison = r.count(4);
+  std::vector<std::vector<Asn>> poison_sets;
+  poison_sets.reserve(num_poison);
+  for (std::uint32_t i = 0; i < num_poison; ++i)
+    poison_sets.push_back(r.asns());
+  snap.paths = PathTable::from_flat(nodes, std::move(poison_sets));
+
+  const std::uint32_t num_prefixes = r.count(13);
+  snap.routes.reserve(num_prefixes);
+  for (std::uint32_t i = 0; i < num_prefixes; ++i) {
+    PrefixRoutes pr;
+    pr.prefix = r.prefix();
+    pr.origin = r.u32();
+    const std::uint32_t num_entries = r.count(17);
+    pr.entries.reserve(num_entries);
+    for (std::uint32_t e = 0; e < num_entries; ++e) {
+      RouteEntry entry;
+      entry.asn = r.u32();
+      entry.selected = r.u32();
+      IRP_CHECK(entry.selected < snap.paths.num_paths(),
+                "oracle snapshot: route references a missing path");
+      entry.next_hop = r.u32();
+      entry.self_originated = r.u8() != 0;
+      const std::uint32_t num_alt = r.count(8);
+      entry.alternates.reserve(num_alt);
+      for (std::uint32_t a = 0; a < num_alt; ++a) {
+        AlternateRoute alt;
+        alt.path = r.u32();
+        IRP_CHECK(alt.path < snap.paths.num_paths(),
+                  "oracle snapshot: alternate references a missing path");
+        alt.from_asn = r.u32();
+        entry.alternates.push_back(alt);
+      }
+      IRP_CHECK(pr.entries.empty() || pr.entries.back().asn < entry.asn,
+                "oracle snapshot: route entries not ascending by ASN");
+      pr.entries.push_back(std::move(entry));
+    }
+    snap.routes.push_back(std::move(pr));
+  }
+  IRP_CHECK(r.remaining() == 0, "oracle snapshot: trailing bytes in payload");
+  return snap;
+}
+
+void OracleSnapshot::save(const std::string& path) const {
+  write_file(path, to_bytes());
+}
+
+OracleSnapshot OracleSnapshot::load(const std::string& path) {
+  return from_bytes(read_file(path));
+}
+
+OracleSnapshot snapshot_study(const PassiveDataset& ds) {
+  IRP_CHECK(ds.engine != nullptr,
+            "snapshot_study requires the live measurement engine");
+  const BgpEngine& engine = *ds.engine;
+  const std::size_t num_ases = engine.topology().num_ases();
+
+  OracleSnapshot snap;
+  snap.num_ases = static_cast<std::uint32_t>(num_ases);
+
+  // Aggregated relationships: links() iterates the ordered pair map, so the
+  // dump is already deterministic and ascending.
+  snap.relationships.reserve(ds.inferred.links().size());
+  for (const auto& [pair, rel] : ds.inferred.links())
+    snap.relationships.push_back(OracleSnapshot::RelationshipEntry{
+        pair.first, pair.second, static_cast<std::uint8_t>(rel)});
+
+  snap.sibling_groups = ds.siblings.groups();
+
+  snap.hybrid_entries.reserve(ds.hybrid.entries().size());
+  for (const HybridEntry& h : ds.hybrid.entries())
+    snap.hybrid_entries.push_back(OracleSnapshot::HybridRecord{
+        h.a, h.b, h.city, static_cast<std::uint8_t>(h.rel_of_b_from_a)});
+  snap.partial_transit = ds.hybrid.partial_transit();
+
+  for (const auto& [prefix, pairs] : ds.observations.export_sorted())
+    snap.observations.push_back(OracleSnapshot::ObservationBlock{prefix, pairs});
+
+  // Per-(AS, prefix) selected/alternate routes of the measurement engine,
+  // re-interned into the snapshot's own path table (hash-consing preserves
+  // suffix sharing, so the table stays compact).
+  const std::vector<Ipv4Prefix> prefixes = engine.prefixes();
+  snap.routes.reserve(prefixes.size());
+  for (const Ipv4Prefix& prefix : prefixes) {
+    OracleSnapshot::PrefixRoutes pr;
+    pr.prefix = prefix;
+    for (Asn asn = 1; asn <= static_cast<Asn>(num_ases); ++asn) {
+      const BgpEngine::Selected* sel = engine.best(asn, prefix);
+      if (sel == nullptr) continue;
+      OracleSnapshot::RouteEntry entry;
+      entry.asn = asn;
+      entry.selected = snap.paths.intern(engine.paths().materialize(sel->path_id));
+      entry.next_hop = sel->next_hop;
+      entry.self_originated = sel->self_originated;
+      if (sel->self_originated) pr.origin = asn;
+      for (const Route& route : engine.routes_at(asn, prefix)) {
+        if (route.via_link == sel->via_link) continue;  // The selected route.
+        OracleSnapshot::AlternateRoute alt;
+        alt.path = snap.paths.intern(route.path);
+        alt.from_asn = route.from_asn;
+        entry.alternates.push_back(alt);
+      }
+      pr.entries.push_back(std::move(entry));
+    }
+    snap.routes.push_back(std::move(pr));
+  }
+  return snap;
+}
+
+}  // namespace irp

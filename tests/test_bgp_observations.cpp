@@ -1,0 +1,114 @@
+// Direct unit tests for BgpObservations: the (origin, neighbor, prefix)
+// visibility set behind the PSP criteria (§4.3), including the
+// poisoned-path-skip rule of the feed ingest and the sorted export the
+// oracle snapshot freezes.
+#include <gtest/gtest.h>
+
+#include "inference/bgp_observations.hpp"
+
+namespace irp {
+namespace {
+
+Ipv4Prefix pfx(std::uint8_t third) {
+  return Ipv4Prefix{Ipv4Addr{10, 0, third, 0}, 24};
+}
+
+FeedEntry entry(Asn peer, const Ipv4Prefix& prefix, std::vector<Asn> hops,
+                std::vector<Asn> poison = {}) {
+  FeedEntry e;
+  e.peer = peer;
+  e.prefix = prefix;
+  e.path.hops = std::move(hops);
+  e.path.poison_set = std::move(poison);
+  return e;
+}
+
+TEST(BgpObservations, RecordsOriginToNeighborAnnouncements) {
+  BgpObservations obs;
+  // Collector path 40 30 20 10: origin 10 announced to neighbor 20.
+  const std::vector<FeedEntry> feed = {entry(40, pfx(1), {40, 30, 20, 10})};
+  obs.ingest(feed);
+
+  EXPECT_TRUE(obs.announced(10, 20, pfx(1)));
+  EXPECT_TRUE(obs.announced_any(10, 20));
+  // Only the origin-adjacent pair is recorded, not transit hops.
+  EXPECT_FALSE(obs.announced(20, 30, pfx(1)));
+  EXPECT_FALSE(obs.announced(10, 30, pfx(1)));
+  // Direction matters: 20 did not announce to 10.
+  EXPECT_FALSE(obs.announced(20, 10, pfx(1)));
+  EXPECT_FALSE(obs.announced_any(20, 10));
+  // Other prefixes are not implied.
+  EXPECT_FALSE(obs.announced(10, 20, pfx(2)));
+}
+
+TEST(BgpObservations, PoisonedPathsAreSkipped) {
+  BgpObservations obs;
+  const std::vector<FeedEntry> feed = {
+      entry(40, pfx(1), {40, 30, 10}, /*poison=*/{30}),
+      entry(40, pfx(2), {40, 30, 10}),
+  };
+  obs.ingest(feed);
+
+  // The poisoned announcement must not contribute visibility: it exists to
+  // probe alternate routes, not to witness normal export policy.
+  EXPECT_FALSE(obs.announced(10, 30, pfx(1)));
+  EXPECT_TRUE(obs.announced(10, 30, pfx(2)));
+  // announced_any only reflects the clean entry.
+  EXPECT_TRUE(obs.announced_any(10, 30));
+  EXPECT_EQ(obs.size(), 1u);  // Only pfx(2) has observations.
+}
+
+TEST(BgpObservations, SingleHopPathsCarryNoPair) {
+  BgpObservations obs;
+  const std::vector<FeedEntry> feed = {entry(10, pfx(1), {10})};
+  obs.ingest(feed);
+  EXPECT_EQ(obs.size(), 0u);
+  EXPECT_FALSE(obs.announced_any(10, 10));
+}
+
+TEST(BgpObservations, NeighborsForCollectsAllNeighborsOfOrigin) {
+  BgpObservations obs;
+  obs.add(10, 20, pfx(1));
+  obs.add(10, 30, pfx(1));
+  obs.add(10, 40, pfx(2));   // Different prefix: excluded.
+  obs.add(99, 50, pfx(1));   // Different origin: excluded.
+
+  const std::set<Asn> neighbors = obs.neighbors_for(10, pfx(1));
+  EXPECT_EQ(neighbors, (std::set<Asn>{20, 30}));
+  EXPECT_TRUE(obs.neighbors_for(10, pfx(3)).empty());
+  EXPECT_TRUE(obs.neighbors_for(77, pfx(1)).empty());
+}
+
+TEST(BgpObservations, DuplicatesCollapse) {
+  BgpObservations obs;
+  obs.add(10, 20, pfx(1));
+  obs.add(10, 20, pfx(1));
+  EXPECT_EQ(obs.size(), 1u);
+  const auto exported = obs.export_sorted();
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].second.size(), 1u);
+}
+
+TEST(BgpObservations, ExportSortedIsDeterministicAndAscending) {
+  // Insert in scrambled order; export must come out sorted regardless of
+  // hash-container iteration order (the oracle snapshot relies on this for
+  // byte-identical images).
+  BgpObservations obs;
+  obs.add(30, 40, pfx(9));
+  obs.add(10, 20, pfx(9));
+  obs.add(10, 15, pfx(9));
+  obs.add(50, 60, pfx(2));
+
+  const auto exported = obs.export_sorted();
+  ASSERT_EQ(exported.size(), 2u);
+  EXPECT_EQ(exported[0].first, pfx(2));
+  EXPECT_EQ(exported[1].first, pfx(9));
+  const auto& pairs = exported[1].second;
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+  EXPECT_EQ(pairs.front(), (std::pair<Asn, Asn>{10, 15}));
+  EXPECT_EQ(pairs.back(), (std::pair<Asn, Asn>{30, 40}));
+}
+
+}  // namespace
+}  // namespace irp

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <span>
 #include <vector>
 
 #include "bgp/path_table.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace irp {
@@ -144,6 +146,109 @@ TEST(PathTable, RandomizedStressRoundTrips) {
   // Sharing must have happened: far fewer nodes than total hops interned.
   EXPECT_GT(table.stats().hits, 0u);
   EXPECT_LT(table.stats().nodes, 4000u * 6);
+}
+
+TEST(PathTable, FlatRoundTripPreservesIdsAndValues) {
+  // Build a table with plain paths, poison roots, and shared suffixes, dump
+  // it via flat_node()/poison_set_at(), rebuild with from_flat(), and check
+  // every id materializes identically — the oracle snapshot contract.
+  PathTable table;
+  std::vector<std::pair<PathId, AsPath>> interned;
+  auto keep = [&](const AsPath& value) {
+    interned.emplace_back(table.intern(value), value);
+  };
+  keep(AsPath{{10, 20, 30}, {}});
+  keep(AsPath{{40, 20, 30}, {}});          // Shares the [20 30] suffix.
+  keep(AsPath{{10}, {99}});                // Poisoned root + hop.
+  keep(AsPath{{50, 10}, {99}});
+  keep(AsPath{{50, 10}, {99, 98}});        // Distinct poison set.
+  keep(AsPath{{}, {7}});                   // Bare poison root.
+
+  std::vector<PathTable::FlatNode> nodes;
+  for (PathId id = 0; id < table.num_paths(); ++id)
+    nodes.push_back(table.flat_node(id));
+  std::vector<std::vector<Asn>> poison_sets;
+  for (std::size_t i = 0; i < table.num_poison_sets(); ++i)
+    poison_sets.push_back(table.poison_set_at(i));
+
+  const PathTable rebuilt = PathTable::from_flat(nodes, std::move(poison_sets));
+  ASSERT_EQ(rebuilt.num_paths(), table.num_paths());
+  for (const auto& [id, value] : interned) {
+    EXPECT_EQ(rebuilt.materialize(id), value) << value.to_string();
+    EXPECT_EQ(rebuilt.num_hops(id), value.hops.size());
+    EXPECT_EQ(rebuilt.length(id), value.length());
+  }
+}
+
+TEST(PathTable, RebuiltTableKeepsInterning) {
+  // After from_flat, interning an existing path must return its old id (the
+  // rebuilt intern map is live, not just a dead archive).
+  PathTable table;
+  const AsPath value{{1, 2, 3}, {}};
+  const PathId id = table.intern(value);
+
+  std::vector<PathTable::FlatNode> nodes;
+  for (PathId i = 0; i < table.num_paths(); ++i)
+    nodes.push_back(table.flat_node(i));
+  std::vector<std::vector<Asn>> poison_sets;
+  for (std::size_t i = 0; i < table.num_poison_sets(); ++i)
+    poison_sets.push_back(table.poison_set_at(i));
+
+  PathTable rebuilt = PathTable::from_flat(nodes, std::move(poison_sets));
+  EXPECT_EQ(rebuilt.intern(value), id);
+  // New paths keep working on top of the rebuilt state.
+  const PathId extended = rebuilt.prepend(id, 9);
+  EXPECT_EQ(rebuilt.materialize(extended).hops, (std::vector<Asn>{9, 1, 2, 3}));
+}
+
+TEST(PathTable, FromFlatRejectsMalformedImages) {
+  const auto flat = [](Asn head, PathId tail, std::uint32_t hops,
+                       std::uint32_t poison) {
+    PathTable::FlatNode n;
+    n.head = head;
+    n.tail = tail;
+    n.num_hops = hops;
+    n.poison = poison;
+    return n;
+  };
+  // No nodes at all.
+  EXPECT_THROW(
+      PathTable::from_flat(std::span<const PathTable::FlatNode>{}, {{}}),
+      CheckError);
+  // Node 0 not the empty root.
+  {
+    std::vector<PathTable::FlatNode> nodes = {flat(5, 0, 1, 0)};
+    EXPECT_THROW(PathTable::from_flat(nodes, {{}}), CheckError);
+  }
+  // Hop node whose tail points forward.
+  {
+    std::vector<PathTable::FlatNode> nodes = {flat(0, 0, 0, 0),
+                                              flat(5, 2, 1, 0)};
+    EXPECT_THROW(PathTable::from_flat(nodes, {{}}), CheckError);
+  }
+  // Inconsistent hop count.
+  {
+    std::vector<PathTable::FlatNode> nodes = {flat(0, 0, 0, 0),
+                                              flat(5, 0, 3, 0)};
+    EXPECT_THROW(PathTable::from_flat(nodes, {{}}), CheckError);
+  }
+  // Poison id out of range.
+  {
+    std::vector<PathTable::FlatNode> nodes = {flat(0, 0, 0, 0),
+                                              flat(5, 0, 1, 4)};
+    EXPECT_THROW(PathTable::from_flat(nodes, {{}}), CheckError);
+  }
+  // Duplicate node (same head, same tail) — intern map collision.
+  {
+    std::vector<PathTable::FlatNode> nodes = {
+        flat(0, 0, 0, 0), flat(5, 0, 1, 0), flat(5, 0, 1, 0)};
+    EXPECT_THROW(PathTable::from_flat(nodes, {{}}), CheckError);
+  }
+  // Missing empty poison set at pool slot 0.
+  {
+    std::vector<PathTable::FlatNode> nodes = {flat(0, 0, 0, 0)};
+    EXPECT_THROW(PathTable::from_flat(nodes, {{1, 2}}), CheckError);
+  }
 }
 
 }  // namespace

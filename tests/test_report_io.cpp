@@ -1,0 +1,139 @@
+// report_io tests: RFC-4180 escaping round-trips through a real CSV parser,
+// and write_all_reports creates missing directories / fails loudly on
+// unwritable targets.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/report_io.hpp"
+#include "util/check.hpp"
+#include "util/file.hpp"
+
+namespace irp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Minimal RFC-4180 parser: rows of fields, quotes unescaped. Good enough to
+/// prove our writer's escaping is reversible.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (!field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(ReportCsv, EscapingRoundTripsThroughParser) {
+  Table1Report report;
+  const std::vector<std::string> nasty = {
+      "plain",
+      "comma, inside",
+      "quote \" inside",
+      "both, \"of\" them",
+      "newline\ninside",
+      "\"leading quote",
+      "trailing comma,",
+  };
+  for (const std::string& name : nasty) {
+    Table1Report::Row row;
+    row.as_type = name;
+    row.probes = 1;
+    report.rows.push_back(row);
+  }
+  report.total_probes = nasty.size();
+
+  const auto rows = parse_csv(table1_csv(report));
+  // Header + one row per type + total row.
+  ASSERT_EQ(rows.size(), nasty.size() + 2);
+  for (std::size_t i = 0; i < nasty.size(); ++i) {
+    ASSERT_EQ(rows[i + 1].size(), 4u) << "row " << i;
+    EXPECT_EQ(rows[i + 1][0], nasty[i]) << "field did not round-trip";
+    EXPECT_EQ(rows[i + 1][1], "1");
+  }
+  EXPECT_EQ(rows.back()[0], "Total");
+}
+
+TEST(ReportCsv, ScenarioNamesRoundTripInFigure1) {
+  Figure1Report report;
+  CategoryBreakdown breakdown;
+  breakdown.add(DecisionCategory::kBestShort);
+  report.scenarios.emplace_back("Simple, with \"quotes\"", breakdown);
+
+  const auto rows = parse_csv(figure1_csv(report));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "Simple, with \"quotes\"");
+}
+
+TEST(ReportIo, CreatesMissingOutputDirectory) {
+  const fs::path dir = fs::temp_directory_path() / "irp_report_io_test" /
+                       "nested" / "deeper";
+  fs::remove_all(dir.parent_path().parent_path());
+
+  StudyResults results;  // Empty reports are fine; only I/O is under test.
+  const int files = write_all_reports(results, dir.string());
+  EXPECT_EQ(files, 9);
+  EXPECT_TRUE(fs::exists(dir / "table1.csv"));
+  EXPECT_TRUE(fs::exists(dir / "psp_validation.csv"));
+
+  std::size_t csv_count = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".csv") ++csv_count;
+  EXPECT_EQ(csv_count, 9u);
+
+  fs::remove_all(dir.parent_path().parent_path());
+}
+
+TEST(ReportIo, UnwritablePathFailsWithClearError) {
+  // A directory component that is actually a regular file: creation must
+  // fail with a CheckError naming the path, not silently write nothing.
+  const fs::path file = fs::temp_directory_path() / "irp_report_io_blocker";
+  write_file(file.string(), "not a directory");
+  const std::string target = (file / "sub").string();
+
+  StudyResults results;
+  try {
+    write_all_reports(results, target);
+    FAIL() << "expected CheckError for unwritable path";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(target), std::string::npos)
+        << "error should name the failing path: " << e.what();
+  }
+  fs::remove(file);
+}
+
+}  // namespace
+}  // namespace irp
