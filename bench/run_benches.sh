@@ -56,4 +56,8 @@ if command -v python3 >/dev/null 2>&1; then
     fi
   done
 fi
+
+# The docs must describe the tree that produced these numbers.
+printf '\n'
+"$repo_root/tools/check_docs.sh" || status=$?
 exit "$status"

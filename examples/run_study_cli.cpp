@@ -10,26 +10,34 @@
 //       Run the passive study and freeze it into a binary oracle snapshot.
 //
 //   run_study_cli query --snapshot FILE [--queries FILE]
-//       Load a snapshot and answer queries synchronously (deterministic,
-//       single-threaded). Queries come from --queries or stdin, one per
-//       line:
+//   run_study_cli query --connect HOST:PORT [--queries FILE]
+//       Answer queries from --queries or stdin, one per line:
 //         classify DECIDER NEXT_HOP DEST PREFIX REMAINING
 //                  [hybrid] [siblings] [psp1|psp2]   (flags on the same line)
 //         routes ASN PREFIX
 //         psp ORIGIN NEIGHBOR PREFIX
 //         rel A B
+//       With --snapshot, a local snapshot answers synchronously
+//       (deterministic, single-threaded). With --connect, each query goes
+//       over OracleWire (docs/PROTOCOL.md) to a `serve --listen` process;
+//       the printed answers are byte-identical either way.
 //
 //   run_study_cli serve --snapshot FILE [--workers N] [--queue N]
-//                       [--queries FILE]
-//       Same query stream, but submitted through the concurrent
-//       OracleService (bounded queue + worker pool); prints each response
-//       in submission order, then the service stats. Overloaded
+//                       [--queries FILE | --listen PORT [--bind ADDR]]
+//       Without --listen: the same query stream, submitted through the
+//       concurrent OracleService (bounded queue + worker pool); prints each
+//       response in submission order, then the service stats. Overloaded
 //       submissions are reported as "rejected (queue full)".
+//       With --listen: serves OracleWire over TCP until SIGINT/SIGTERM,
+//       then drains gracefully and prints wire + service stats. --listen 0
+//       picks an ephemeral port (printed on startup). --bind defaults to
+//       127.0.0.1; use 0.0.0.0 to accept remote hosts.
 //
 // --scale multiplies the edge population (stubs and access ISPs); the
 // default (1) matches the paper-calibrated configuration. --threads runs
 // the parallel passive-study phases on N threads (0 = hardware count,
 // default 1 = serial); results are byte-identical at any thread count.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +51,8 @@
 #include "core/report_io.hpp"
 #include "core/study.hpp"
 #include "inference/serialize.hpp"
+#include "serve/oracle_client.hpp"
+#include "serve/oracle_server.hpp"
 #include "serve/oracle_service.hpp"
 #include "topo/serialize.hpp"
 #include "util/check.hpp"
@@ -59,9 +69,10 @@ namespace {
       "usage: %s [--seed N] [--scale N] [--threads N] [--out DIR]\n"
       "          [--no-active] [--save-topology FILE] [--caida-out FILE]\n"
       "       %s snapshot --out FILE [--seed N] [--scale N] [--threads N]\n"
-      "       %s query --snapshot FILE [--queries FILE]\n"
+      "       %s query {--snapshot FILE | --connect HOST:PORT}\n"
+      "          [--queries FILE]\n"
       "       %s serve --snapshot FILE [--workers N] [--queue N]\n"
-      "          [--queries FILE]\n",
+      "          [--queries FILE | --listen PORT [--bind ADDR]]\n",
       argv0, argv0, argv0, argv0);
   std::exit(2);
 }
@@ -195,7 +206,7 @@ int cmd_snapshot(int argc, char** argv) {
 }
 
 int cmd_query(int argc, char** argv) {
-  std::string snapshot_path, queries_file;
+  std::string snapshot_path, queries_file, connect;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -204,12 +215,32 @@ int cmd_query(int argc, char** argv) {
     };
     if (arg == "--snapshot")
       snapshot_path = next();
+    else if (arg == "--connect")
+      connect = next();
     else if (arg == "--queries")
       queries_file = next();
     else
       usage(argv[0]);
   }
-  if (snapshot_path.empty()) usage(argv[0]);
+  if (snapshot_path.empty() == connect.empty()) usage(argv[0]);
+
+  if (!connect.empty()) {
+    // Remote mode: the same answers, fetched over OracleWire. The output
+    // below must stay byte-identical to the local branch —
+    // test_oracle_server pins that equivalence at the library level.
+    const std::size_t colon = connect.rfind(':');
+    IRP_CHECK(colon != std::string::npos && colon > 0,
+              "--connect expects HOST:PORT, got " + connect);
+    OracleClient::Config cc;
+    cc.host = connect.substr(0, colon);
+    cc.port = static_cast<std::uint16_t>(
+        std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+    IRP_CHECK(cc.port != 0, "--connect expects a nonzero port in " + connect);
+    OracleClient client(cc);
+    for (const OracleRequest& request : read_queries(queries_file))
+      std::printf("%s\n", to_text(client.call(request)).c_str());
+    return 0;
+  }
 
   const OracleSnapshot snap = OracleSnapshot::load(snapshot_path);
   const OracleIndex index(&snap);
@@ -220,10 +251,81 @@ int cmd_query(int argc, char** argv) {
   return 0;
 }
 
+void print_service_stats(const OracleStatsView& stats) {
+  std::printf("# served=%llu rejected=%llu peak_queue=%zu cache_hit_rate=%.3f\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.rejected),
+              stats.peak_queue_depth, stats.cache.hit_rate());
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    const auto& pt = stats.per_type[t];
+    if (pt.served == 0 && pt.rejected == 0) continue;
+    std::printf("#   %s: served=%llu rejected=%llu p50=%.1fus p99=%.1fus\n",
+                std::string(query_type_name(static_cast<QueryType>(t))).c_str(),
+                static_cast<unsigned long long>(pt.served),
+                static_cast<unsigned long long>(pt.rejected), pt.p50_us,
+                pt.p99_us);
+  }
+}
+
+/// `serve --listen`: OracleWire over TCP until SIGINT/SIGTERM, then a
+/// graceful drain (accepted requests answered, new connections refused).
+int serve_network(const OracleIndex& index, OracleService::Config service_cfg,
+                  OracleServer::Config server_cfg) {
+  // Block the shutdown signals before any thread exists so the worker and
+  // poll threads inherit the mask and sigwait() below is race-free.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  OracleService service(&index, service_cfg);
+  OracleServer server(&service, server_cfg);
+  server.start();
+  std::printf("oracle serving on %s:%u (workers=%d queue=%zu); "
+              "SIGINT/SIGTERM drains and exits\n",
+              server_cfg.bind_address.c_str(), server.port(),
+              service_cfg.worker_threads, service_cfg.queue_capacity);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::printf("signal %d: draining...\n", sig);
+  server.shutdown();   // Answers everything admitted, refuses new work.
+  service.shutdown();  // Then the worker pool drains and joins.
+
+  const WireServerStats wire = server.stats();
+  std::printf(
+      "# wire: conns=%llu refused=%llu frames_in=%llu frames_out=%llu "
+      "admitted=%llu shed=%llu decode_errors=%llu bytes_in=%llu "
+      "bytes_out=%llu\n",
+      static_cast<unsigned long long>(wire.connections_accepted),
+      static_cast<unsigned long long>(wire.connections_refused),
+      static_cast<unsigned long long>(wire.frames_in),
+      static_cast<unsigned long long>(wire.frames_out),
+      static_cast<unsigned long long>(wire.requests_admitted),
+      static_cast<unsigned long long>(wire.requests_shed),
+      static_cast<unsigned long long>(wire.decode_errors),
+      static_cast<unsigned long long>(wire.bytes_in),
+      static_cast<unsigned long long>(wire.bytes_out));
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    const auto& pt = wire.per_type[t];
+    if (pt.answered == 0) continue;
+    std::printf("#   wire %s: answered=%llu p50=%.1fus p99=%.1fus\n",
+                std::string(query_type_name(static_cast<QueryType>(t))).c_str(),
+                static_cast<unsigned long long>(pt.answered), pt.p50_us,
+                pt.p99_us);
+  }
+  print_service_stats(service.stats());
+  return 0;
+}
+
 int cmd_serve(int argc, char** argv) {
   std::string snapshot_path, queries_file;
   OracleService::Config service_config;
   service_config.worker_threads = 2;
+  OracleServer::Config server_config;
+  bool listen = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -239,14 +341,22 @@ int cmd_serve(int argc, char** argv) {
     else if (arg == "--queue")
       service_config.queue_capacity =
           static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--listen") {
+      listen = true;
+      server_config.port =
+          static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--bind")
+      server_config.bind_address = next();
     else
       usage(argv[0]);
   }
   if (snapshot_path.empty() || service_config.worker_threads < 1)
     usage(argv[0]);
+  if (listen && !queries_file.empty()) usage(argv[0]);
 
   const OracleSnapshot snap = OracleSnapshot::load(snapshot_path);
   const OracleIndex index(&snap);
+  if (listen) return serve_network(index, service_config, server_config);
   OracleService service(&index, service_config);
 
   const std::vector<OracleRequest> queries = read_queries(queries_file);
@@ -261,21 +371,7 @@ int cmd_serve(int argc, char** argv) {
       std::printf("%s\n", to_text(s.response.get()).c_str());
   }
   service.shutdown();
-
-  const OracleStatsView stats = service.stats();
-  std::printf("# served=%llu rejected=%llu peak_queue=%zu cache_hit_rate=%.3f\n",
-              static_cast<unsigned long long>(stats.served),
-              static_cast<unsigned long long>(stats.rejected),
-              stats.peak_queue_depth, stats.cache.hit_rate());
-  for (int t = 0; t < kNumQueryTypes; ++t) {
-    const auto& pt = stats.per_type[t];
-    if (pt.served == 0 && pt.rejected == 0) continue;
-    std::printf("#   %s: served=%llu rejected=%llu p50=%.1fus p99=%.1fus\n",
-                std::string(query_type_name(static_cast<QueryType>(t))).c_str(),
-                static_cast<unsigned long long>(pt.served),
-                static_cast<unsigned long long>(pt.rejected), pt.p50_us,
-                pt.p99_us);
-  }
+  print_service_stats(service.stats());
   return 0;
 }
 

@@ -1,0 +1,84 @@
+// wire_dump: regenerates the worked OracleWire example in docs/PROTOCOL.md.
+//
+// Prints one canonical ClassifyDecision round trip — the request frame and
+// its response frame, each as an annotated header-field breakdown plus a
+// full hex dump. The output is deterministic (fixed example values, no
+// clock, no RNG), so the spec's example can be refreshed verbatim:
+//
+//   ./build/examples/wire_dump
+//
+// test_wire pins the exact bytes of this example; if an encoding change
+// moves them, the test fails and this dump must be re-run into PROTOCOL.md.
+#include <cstdio>
+#include <string>
+
+#include "serve/byte_io.hpp"
+#include "serve/wire.hpp"
+
+using namespace irp;
+
+namespace {
+
+/// One `[first, last] name = value` annotation line.
+void field(std::size_t first, std::size_t size, const char* name,
+           const std::string& value) {
+  std::printf("  [%2zu..%2zu] %-12s = %s\n", first, first + size - 1, name,
+              value.c_str());
+}
+
+void dump_header(const std::string& bytes) {
+  ByteReader r{bytes, "wire_dump"};
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "0x%08x (\"IRPW\")", r.u32());
+  field(0, 4, "magic", buf);
+  field(4, 2, "version", std::to_string(r.u16()));
+  const std::uint8_t type = r.u8();
+  field(6, 1, "frame_type",
+        std::to_string(type) + " (" +
+            std::string(frame_type_name(static_cast<FrameType>(type))) + ")");
+  field(7, 1, "flags", std::to_string(r.u8()));
+  field(8, 8, "request_id", std::to_string(r.u64()));
+  field(16, 4, "payload_size", std::to_string(r.u32()));
+  std::snprintf(buf, sizeof buf, "0x%016llx (fnv1a64)",
+                static_cast<unsigned long long>(r.u64()));
+  field(20, 8, "checksum", buf);
+}
+
+void dump_frame(const char* title, const std::string& bytes) {
+  std::printf("%s (%zu bytes):\n\n", title, bytes.size());
+  dump_header(bytes);
+  std::printf("\n%s", hex_dump(bytes).c_str());
+}
+
+}  // namespace
+
+int main() {
+  // The canonical example: "is AS 11's choice of AS 7 toward AS 42's
+  // prefix 10.42.0.0/16, three hops out, GR-valid under
+  // hybrid+siblings+PSP-criteria-1?" — answered NonBest/Short.
+  ClassifyRequest request;
+  request.decision.decider = 11;
+  request.decision.next_hop = 7;
+  request.decision.dest_asn = 42;
+  request.decision.src_asn = 2;
+  request.decision.origin_asn = 42;
+  request.decision.remaining_len = 3;
+  request.decision.dst_prefix = *Ipv4Prefix::parse("10.42.0.0/16");
+  request.decision.measured_remaining = {11, 9, 42};
+  request.scenario.use_hybrid = true;
+  request.scenario.use_siblings = true;
+  request.scenario.psp = PspMode::kCriteria1;
+
+  ClassifyResponse response;
+  response.category = DecisionCategory::kNonBestShort;
+  response.best = false;
+  response.is_short = true;
+
+  const std::uint64_t request_id = 7;
+  dump_frame("Request frame: classify_request",
+             encode_request(request_id, OracleRequest{request}));
+  std::printf("\n");
+  dump_frame("Response frame: classify_response",
+             encode_response(request_id, OracleResponse{response}));
+  return 0;
+}

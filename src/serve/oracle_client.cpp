@@ -1,0 +1,210 @@
+#include "serve/oracle_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace irp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void transport_fail(WireTransportError::Kind kind,
+                                 const std::string& detail) {
+  throw WireTransportError(kind, "oracle client: " + detail);
+}
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  IRP_CHECK(flags >= 0, "fcntl(F_GETFL) failed");
+  IRP_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+/// True when the error frame is worth a backoff-and-retry: the condition is
+/// expected to clear (queue drains, another replica comes up).
+bool retryable(WireErrorCode code) {
+  return code == WireErrorCode::kOverloaded ||
+         code == WireErrorCode::kShuttingDown;
+}
+
+}  // namespace
+
+OracleClient::OracleClient(Config config) : config_(std::move(config)) {
+  IRP_CHECK(config_.port != 0, "oracle client requires a port");
+  IRP_CHECK(config_.max_retries >= 0, "max_retries must be >= 0");
+}
+
+OracleClient::~OracleClient() { disconnect(); }
+
+void OracleClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_buf_.clear();
+}
+
+void OracleClient::ensure_connected() {
+  if (fd_ >= 0) return;
+
+  // Resolve (numeric addresses and names alike), then non-blocking connect
+  // with a poll()-enforced deadline — a plain connect() would block for the
+  // kernel's timeout, not ours.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(config_.host.c_str(),
+                               std::to_string(config_.port).c_str(), &hints,
+                               &res);
+  if (rc != 0 || res == nullptr)
+    transport_fail(WireTransportError::Kind::kConnect,
+                   "cannot resolve " + config_.host + ": " +
+                       ::gai_strerror(rc));
+
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    transport_fail(WireTransportError::Kind::kConnect, "socket() failed");
+  }
+  set_nonblocking(fd);
+  const int connect_rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (connect_rc != 0 && errno != EINPROGRESS) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    transport_fail(WireTransportError::Kind::kConnect,
+                   "connect to " + config_.host + ":" +
+                       std::to_string(config_.port) + " failed — " + err);
+  }
+  if (connect_rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(config_.connect_timeout.count()));
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (ready <= 0 || so_error != 0) {
+      ::close(fd);
+      transport_fail(WireTransportError::Kind::kConnect,
+                     "connect to " + config_.host + ":" +
+                         std::to_string(config_.port) +
+                         (ready <= 0 ? " timed out"
+                                     : std::string(" failed — ") +
+                                           std::strerror(so_error)));
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  in_buf_.clear();
+}
+
+void OracleClient::send_all(const std::string& bytes,
+                            Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      transport_fail(WireTransportError::Kind::kIo,
+                     std::string("send failed — ") + std::strerror(errno));
+    const int timeout = remaining_ms(deadline);
+    if (timeout == 0)
+      transport_fail(WireTransportError::Kind::kTimeout,
+                     "request not sent within the timeout");
+    pollfd pfd{fd_, POLLOUT, 0};
+    ::poll(&pfd, 1, timeout);
+  }
+}
+
+WireFrame OracleClient::read_frame(Clock::time_point deadline) {
+  for (;;) {
+    if (auto frame = try_decode_frame(in_buf_, config_.max_frame_payload))
+      return std::move(*frame);
+    const int timeout = remaining_ms(deadline);
+    if (timeout == 0)
+      transport_fail(WireTransportError::Kind::kTimeout,
+                     "no reply within " +
+                         std::to_string(config_.read_timeout.count()) + "ms");
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready < 0)
+      transport_fail(WireTransportError::Kind::kIo, "poll failed");
+    if (ready == 0) continue;  // Deadline re-checked above.
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0)
+      in_buf_.append(buf, static_cast<std::size_t>(n));
+    else if (n == 0)
+      transport_fail(WireTransportError::Kind::kClosed,
+                     "server closed the connection before replying");
+    else if (errno != EAGAIN && errno != EWOULDBLOCK)
+      transport_fail(WireTransportError::Kind::kIo,
+                     std::string("recv failed — ") + std::strerror(errno));
+  }
+}
+
+OracleResponse OracleClient::attempt(const OracleRequest& request) {
+  ensure_connected();
+  const std::uint64_t id = next_request_id_++;
+  const Clock::time_point deadline = Clock::now() + config_.read_timeout;
+  send_all(encode_request(id, request), deadline);
+  for (;;) {
+    const WireFrame frame = read_frame(deadline);
+    if (frame.request_id != id) continue;  // Stale reply from a prior retry.
+    auto reply = decode_reply(frame);
+    if (auto* err = std::get_if<WireError>(&reply))
+      throw OracleServerError(err->code,
+                              "oracle server: " +
+                                  std::string(wire_error_code_name(
+                                      err->code)) +
+                                  " — " + err->message);
+    return std::move(std::get<OracleResponse>(reply));
+  }
+}
+
+OracleResponse OracleClient::call(const OracleRequest& request) {
+  std::chrono::milliseconds backoff = config_.retry_backoff;
+  for (int tried = 0;; ++tried) {
+    try {
+      return attempt(request);
+    } catch (const WireTransportError&) {
+      // Transient transport failure: reconnect and retry. Safe because
+      // oracle queries are pure reads — a duplicate execution is invisible.
+      disconnect();
+      if (tried >= config_.max_retries) throw;
+    } catch (const OracleServerError& e) {
+      // The connection is healthy; only backoff-worthy codes are retried.
+      if (!retryable(e.code()) || tried >= config_.max_retries) throw;
+    } catch (const WireDecodeError&) {
+      // The server speaks garbage; resending cannot help.
+      disconnect();
+      throw;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+}
+
+}  // namespace irp

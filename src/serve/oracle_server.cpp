@@ -1,0 +1,410 @@
+#include "serve/oracle_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace irp {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  IRP_CHECK(flags >= 0, "fcntl(F_GETFL) failed");
+  IRP_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+struct OracleServer::Impl {
+  /// One admitted request whose service future has not resolved yet.
+  struct InFlight {
+    std::uint64_t request_id = 0;
+    QueryType type = QueryType::kClassify;
+    std::future<OracleResponse> response;
+    std::chrono::steady_clock::time_point decoded;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::string in_buf;
+    std::string out_buf;
+    std::list<InFlight> inflight;
+    bool read_closed = false;  ///< Peer EOF, poisoned stream, or draining;
+                               ///< the connection closes once fully flushed.
+  };
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::uint16_t bound_port = 0;
+  std::list<Connection> connections;
+  std::mutex shutdown_mu;
+
+  struct PerType {
+    std::atomic<std::uint64_t> answered{0};
+    LatencyHistogram latency;
+  };
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_refused{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> requests_admitted{0};
+  std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> decode_errors{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::array<PerType, kNumQueryTypes> per_type;
+
+  void close_connection(std::list<Connection>::iterator it) {
+    ::close(it->fd);
+    connections.erase(it);
+    connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void queue_frame(Connection& conn, std::string frame_bytes) {
+    conn.out_buf += frame_bytes;
+    frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+OracleServer::OracleServer(OracleService* service, Config config)
+    : service_(service), config_(std::move(config)),
+      impl_(std::make_unique<Impl>()) {
+  IRP_CHECK(service_ != nullptr, "oracle server requires a service");
+  IRP_CHECK(config_.max_connections >= 1, "max_connections must be >= 1");
+}
+
+OracleServer::OracleServer(OracleService* service)
+    : OracleServer(service, Config{}) {}
+
+OracleServer::~OracleServer() { shutdown(); }
+
+void OracleServer::start() {
+  IRP_CHECK(!started_.load(), "oracle server already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  IRP_CHECK(fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  IRP_CHECK(::inet_pton(AF_INET, config_.bind_address.c_str(),
+                        &addr.sin_addr) == 1,
+            "bad bind address " + config_.bind_address);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    IRP_CHECK(false, "cannot bind " + config_.bind_address + ":" +
+                         std::to_string(config_.port) + " — " + err);
+  }
+  IRP_CHECK(::listen(fd, 64) == 0, "listen() failed");
+  set_nonblocking(fd);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  IRP_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+            "getsockname() failed");
+  impl_->bound_port = ntohs(bound.sin_port);
+  impl_->listen_fd = fd;
+
+  int pipe_fds[2];
+  IRP_CHECK(::pipe(pipe_fds) == 0, "pipe() failed");
+  impl_->wake_read = pipe_fds[0];
+  impl_->wake_write = pipe_fds[1];
+  set_nonblocking(impl_->wake_read);
+  set_nonblocking(impl_->wake_write);
+
+  thread_ = std::thread([this] { poll_loop(); });
+  started_.store(true);
+}
+
+std::uint16_t OracleServer::port() const {
+  IRP_CHECK(started_.load(), "oracle server not started");
+  return impl_->bound_port;
+}
+
+void OracleServer::shutdown() {
+  std::lock_guard<std::mutex> lock(impl_->shutdown_mu);
+  stopping_.store(true);
+  if (!thread_.joinable()) return;
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(impl_->wake_write, &byte, 1);
+  thread_.join();
+}
+
+WireServerStats OracleServer::stats() const {
+  const Impl& im = *impl_;
+  WireServerStats s;
+  s.connections_accepted = im.connections_accepted.load();
+  s.connections_refused = im.connections_refused.load();
+  s.connections_closed = im.connections_closed.load();
+  s.frames_in = im.frames_in.load();
+  s.frames_out = im.frames_out.load();
+  s.requests_admitted = im.requests_admitted.load();
+  s.requests_shed = im.requests_shed.load();
+  s.decode_errors = im.decode_errors.load();
+  s.bytes_in = im.bytes_in.load();
+  s.bytes_out = im.bytes_out.load();
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    s.per_type[t].answered = im.per_type[t].answered.load();
+    s.per_type[t].p50_us = im.per_type[t].latency.quantile_us(0.50);
+    s.per_type[t].p99_us = im.per_type[t].latency.quantile_us(0.99);
+  }
+  return s;
+}
+
+void OracleServer::poll_loop() {
+  Impl& im = *impl_;
+  using Clock = std::chrono::steady_clock;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  // Decodes every complete frame in conn.in_buf; requests go to the
+  // service, sheds and malformed payloads get error frames. A framing-level
+  // decode error poisons the connection (one error frame, then close).
+  auto consume_input = [&](Impl::Connection& conn) {
+    try {
+      while (auto frame =
+                 try_decode_frame(conn.in_buf, config_.max_frame_payload)) {
+        im.frames_in.fetch_add(1, std::memory_order_relaxed);
+        if (!is_request_frame(frame->type)) {
+          im.decode_errors.fetch_add(1, std::memory_order_relaxed);
+          im.queue_frame(conn, encode_error(
+                                   frame->request_id,
+                                   WireErrorCode::kMalformedRequest,
+                                   "expected a request frame, got " +
+                                       std::string(frame_type_name(
+                                           frame->type))));
+          continue;
+        }
+        OracleRequest request;
+        try {
+          request = decode_request(*frame);
+        } catch (const WireDecodeError& e) {
+          im.decode_errors.fetch_add(1, std::memory_order_relaxed);
+          im.queue_frame(conn,
+                         encode_error(frame->request_id,
+                                      WireErrorCode::kMalformedRequest,
+                                      e.what()));
+          continue;
+        }
+        const QueryType type = query_type(request);
+        OracleService::Submitted submitted =
+            service_->submit(std::move(request));
+        if (!submitted.accepted) {
+          im.requests_shed.fetch_add(1, std::memory_order_relaxed);
+          im.queue_frame(conn, encode_error(frame->request_id,
+                                            WireErrorCode::kOverloaded,
+                                            "service queue full"));
+          continue;
+        }
+        im.requests_admitted.fetch_add(1, std::memory_order_relaxed);
+        Impl::InFlight in_flight;
+        in_flight.request_id = frame->request_id;
+        in_flight.type = type;
+        in_flight.response = std::move(submitted.response);
+        in_flight.decoded = Clock::now();
+        conn.inflight.push_back(std::move(in_flight));
+      }
+    } catch (const WireDecodeError& e) {
+      // Framing is gone; no resynchronization is possible. One diagnostic
+      // error frame, then hard-close once it flushes.
+      im.decode_errors.fetch_add(1, std::memory_order_relaxed);
+      im.queue_frame(conn, encode_error(0, WireErrorCode::kMalformedRequest,
+                                        e.what()));
+      conn.in_buf.clear();
+      conn.read_closed = true;
+    }
+  };
+
+  auto flush_output = [&](Impl::Connection& conn) -> bool {
+    while (!conn.out_buf.empty()) {
+      const ssize_t n = ::send(conn.fd, conn.out_buf.data(),
+                               conn.out_buf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        im.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                               std::memory_order_relaxed);
+        conn.out_buf.erase(0, static_cast<std::size_t>(n));
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      } else {
+        return false;  // Peer gone; caller drops the connection.
+      }
+    }
+    return true;
+  };
+
+  for (;;) {
+    if (stopping_.load() && !draining) {
+      draining = true;
+      drain_deadline = Clock::now() +
+                       std::chrono::milliseconds(config_.drain_timeout_ms);
+      if (im.listen_fd >= 0) {
+        ::close(im.listen_fd);
+        im.listen_fd = -1;
+      }
+      // Stop reading everywhere: requests not yet admitted are refused by
+      // the drain contract; admitted ones below are still answered.
+      for (Impl::Connection& conn : im.connections) conn.read_closed = true;
+    }
+
+    // Completion sweep: move resolved service futures into output buffers.
+    bool any_inflight = false;
+    for (Impl::Connection& conn : im.connections) {
+      for (auto it = conn.inflight.begin(); it != conn.inflight.end();) {
+        if (it->response.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          any_inflight = true;
+          ++it;
+          continue;
+        }
+        std::string frame_bytes;
+        try {
+          const OracleResponse response = it->response.get();
+          frame_bytes = encode_response(it->request_id, response);
+          Impl::PerType& pt = im.per_type[static_cast<int>(it->type)];
+          pt.latency.record(elapsed_ns(it->decoded));
+          pt.answered.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception& e) {
+          frame_bytes = encode_error(it->request_id,
+                                     WireErrorCode::kInternal, e.what());
+        }
+        im.queue_frame(conn, std::move(frame_bytes));
+        it = conn.inflight.erase(it);
+      }
+    }
+
+    // Flush + reap. A connection dies when the peer vanished, or when it is
+    // fully served (no reads coming, nothing in flight, all bytes out).
+    const bool past_deadline = draining && Clock::now() >= drain_deadline;
+    for (auto it = im.connections.begin(); it != im.connections.end();) {
+      if (!flush_output(*it)) {
+        im.close_connection(it++);
+        continue;
+      }
+      const bool done = it->read_closed && it->inflight.empty() &&
+                        it->out_buf.empty();
+      if (done || past_deadline) {
+        im.close_connection(it++);
+        continue;
+      }
+      ++it;
+    }
+    if (draining && im.connections.empty()) break;
+
+    // Poll: listen + wake pipe + every connection.
+    std::vector<pollfd> fds;
+    std::vector<Impl::Connection*> fd_conns;
+    if (im.listen_fd >= 0)
+      fds.push_back(pollfd{im.listen_fd, POLLIN, 0});
+    const std::size_t wake_slot = fds.size();
+    fds.push_back(pollfd{im.wake_read, POLLIN, 0});
+    for (Impl::Connection& conn : im.connections) {
+      short events = 0;
+      if (!conn.read_closed) events |= POLLIN;
+      if (!conn.out_buf.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+      fd_conns.push_back(&conn);
+    }
+    // Pending futures resolve without waking any fd, so poll briefly while
+    // any exist; otherwise sleep until traffic or the wake pipe.
+    const int timeout_ms = any_inflight ? 1 : (draining ? 10 : 200);
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             timeout_ms);
+    if (ready < 0 && errno != EINTR) break;  // Unrecoverable poll failure.
+
+    if (fds[wake_slot].revents & POLLIN) {
+      char sink[64];
+      while (::read(im.wake_read, sink, sizeof sink) > 0) {
+      }
+    }
+
+    // Accept new connections (refused outright above the connection cap).
+    if (im.listen_fd >= 0 && (fds[0].revents & POLLIN)) {
+      for (;;) {
+        const int conn_fd = ::accept(im.listen_fd, nullptr, nullptr);
+        if (conn_fd < 0) break;
+        if (im.connections.size() >=
+            static_cast<std::size_t>(config_.max_connections)) {
+          ::close(conn_fd);
+          im.connections_refused.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        set_nonblocking(conn_fd);
+        const int one = 1;
+        ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        Impl::Connection conn;
+        conn.fd = conn_fd;
+        im.connections.push_back(std::move(conn));
+        im.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Reads. fd_conns indexes connections as they were when fds was built;
+    // reaping happens at the top of the next iteration, so iterators stay
+    // valid through this loop.
+    for (std::size_t i = 0; i < fd_conns.size(); ++i) {
+      const pollfd& pfd = fds[wake_slot + 1 + i];
+      Impl::Connection& conn = *fd_conns[i];
+      // POLLHUP with frames still queued: stop reading but keep flushing —
+      // the peer may only have half-closed its write side.
+      if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL))
+        conn.read_closed = true;
+      if (!(pfd.revents & POLLIN) || conn.read_closed) continue;
+      char buf[65536];
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+        if (n > 0) {
+          im.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+          conn.in_buf.append(buf, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+          conn.read_closed = true;
+          break;
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        } else {
+          conn.read_closed = true;
+          break;
+        }
+      }
+      if (!conn.in_buf.empty()) consume_input(conn);
+    }
+  }
+
+  // Teardown: whatever survived the drain deadline closes now.
+  for (auto it = im.connections.begin(); it != im.connections.end();)
+    im.close_connection(it++);
+  if (im.listen_fd >= 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+  }
+  ::close(im.wake_read);
+  ::close(im.wake_write);
+}
+
+}  // namespace irp

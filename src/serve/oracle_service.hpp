@@ -22,6 +22,11 @@
 // Every answer is a pure function of the (immutable) index, so responses
 // are deterministic regardless of worker count, interleaving, or cache
 // state; timing-dependent values live only in OracleStatsView.
+//
+// Remote access: serve/oracle_server.hpp exposes this service over TCP via
+// the OracleWire protocol (serve/wire.hpp, spec in docs/PROTOCOL.md) with
+// the same admission-control semantics — a shed request becomes an explicit
+// overload error frame, and remote answers are byte-identical to local ones.
 #pragma once
 
 #include <array>

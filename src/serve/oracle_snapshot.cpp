@@ -1,9 +1,9 @@
 #include "serve/oracle_snapshot.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "core/passive_study.hpp"
+#include "serve/byte_io.hpp"
 #include "util/check.hpp"
 #include "util/file.hpp"
 
@@ -11,93 +11,7 @@ namespace irp {
 namespace {
 
 constexpr std::size_t kHeaderBytes = 24;  // magic + version + size + checksum.
-
-std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (unsigned char c : bytes) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
-/// Little-endian append-only buffer.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void prefix(const Ipv4Prefix& p) {
-    u32(p.network().value());
-    u8(static_cast<std::uint8_t>(p.length()));
-  }
-  void asns(const std::vector<Asn>& v) {
-    u32(static_cast<std::uint32_t>(v.size()));
-    for (Asn a : v) u32(a);
-  }
-  std::string take() { return std::move(buf_); }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const char* c = static_cast<const char*>(p);
-    buf_.append(c, n);  // Little-endian hosts only, like the rest of irp.
-  }
-  std::string buf_;
-};
-
-/// Bounds-checked little-endian cursor; every overrun throws CheckError.
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v;
-    std::memcpy(&v, data_.data() + pos_, 4);
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v;
-    std::memcpy(&v, data_.data() + pos_, 8);
-    pos_ += 8;
-    return v;
-  }
-  Ipv4Prefix prefix() {
-    const std::uint32_t network = u32();
-    const int length = u8();
-    IRP_CHECK(length <= 32, "oracle snapshot: prefix length out of range");
-    return Ipv4Prefix{Ipv4Addr{network}, length};
-  }
-  std::vector<Asn> asns() {
-    const std::uint32_t n = count(sizeof(Asn));
-    std::vector<Asn> out;
-    out.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) out.push_back(u32());
-    return out;
-  }
-  /// Reads an element count and verifies the remaining bytes can hold it
-  /// (`min_elem_bytes` per element) before the caller allocates.
-  std::uint32_t count(std::size_t min_elem_bytes) {
-    const std::uint32_t n = u32();
-    IRP_CHECK(std::uint64_t{n} * min_elem_bytes <= remaining(),
-              "oracle snapshot: truncated payload (count exceeds bytes)");
-    return n;
-  }
-  std::size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  void need(std::size_t n) {
-    IRP_CHECK(n <= remaining(), "oracle snapshot: truncated payload");
-  }
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
+constexpr std::string_view kContext = "oracle snapshot";
 
 }  // namespace
 
@@ -186,7 +100,7 @@ std::string OracleSnapshot::to_bytes() const {
 OracleSnapshot OracleSnapshot::from_bytes(std::string_view bytes) {
   IRP_CHECK(bytes.size() >= kHeaderBytes,
             "oracle snapshot: image smaller than header");
-  ByteReader header{bytes.substr(0, kHeaderBytes)};
+  ByteReader header{bytes.substr(0, kHeaderBytes), std::string(kContext)};
   IRP_CHECK(header.u32() == kOracleSnapshotMagic,
             "oracle snapshot: bad magic (not an oracle snapshot)");
   const std::uint32_t version = header.u32();
@@ -200,7 +114,7 @@ OracleSnapshot OracleSnapshot::from_bytes(std::string_view bytes) {
   IRP_CHECK(fnv1a64(payload) == checksum,
             "oracle snapshot: checksum mismatch (corrupted image)");
 
-  ByteReader r{payload};
+  ByteReader r{payload, std::string(kContext)};
   OracleSnapshot snap;
   snap.num_ases = r.u32();
 

@@ -1,0 +1,162 @@
+// OracleWire: the framed binary protocol that carries RouteOracle queries
+// between processes and hosts.
+//
+// A frame is a fixed 28-byte header followed by a checksummed payload:
+//
+//   offset size field
+//        0    4 magic         0x57505249 ("IRPW" in little-endian order)
+//        4    2 version       kWireVersion (1)
+//        6    1 frame_type    FrameType
+//        7    1 flags         reserved; must be 0 in version 1
+//        8    8 request_id    client-chosen; echoed verbatim in the reply
+//       16    4 payload_size  bytes after the header; <= max payload bound
+//       20    8 checksum      fnv1a64(payload)
+//       28    . payload       frame_type-specific encoding (docs/PROTOCOL.md)
+//
+// All integers are little-endian (the ByteWriter/ByteReader idiom shared
+// with the oracle snapshot). Requests and responses carry the OracleService
+// variants bit-for-bit: decoding an encoded request yields a struct that
+// compares equal to the original, so a remote answer is byte-identical to
+// the local one (test_wire proves round-trips; test_oracle_server proves
+// end-to-end equality).
+//
+// Error handling is typed and total:
+//   * try_decode_frame() rejects garbage as early as possible — bad magic,
+//     unsupported version, unknown frame type, nonzero flags and oversized
+//     payload_size all throw WireDecodeError from the header alone, before
+//     any payload is buffered. A correct header with a corrupt payload fails
+//     the checksum. Callers must treat the stream as poisoned after any
+//     decode error (resynchronization is impossible by design).
+//   * kError frames carry a WireErrorCode + message instead of an answer;
+//     kOverloaded is the admission-control shed surfaced to the remote
+//     caller, kMalformedRequest reports a payload the server could frame-
+//     decode but not request-decode.
+//
+// Version policy: the protocol is versioned as a whole; a server speaks
+// exactly one version and rejects the rest (kBadVersion). The reserved
+// flags byte exists so a future version can negotiate without moving any
+// header field.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "serve/oracle_service.hpp"
+#include "util/check.hpp"
+
+namespace irp {
+
+/// "IRPW" in little-endian byte order.
+inline constexpr std::uint32_t kWireMagic = 0x57505249u;
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 28;
+/// Default upper bound on payload_size; frames claiming more are rejected
+/// from the header alone (kOversized), so a hostile peer cannot make the
+/// receiver buffer unbounded data.
+inline constexpr std::size_t kMaxWirePayload = 1u << 20;
+
+/// Frame discriminator. Requests occupy 0x00-0x0f in QueryType order;
+/// the matching response is `request | 0x10`; 0x20 is the error frame.
+enum class FrameType : std::uint8_t {
+  kClassifyRequest = 0x00,
+  kAlternateRoutesRequest = 0x01,
+  kPspVisibilityRequest = 0x02,
+  kRelationshipLookupRequest = 0x03,
+  kClassifyResponse = 0x10,
+  kAlternateRoutesResponse = 0x11,
+  kPspVisibilityResponse = 0x12,
+  kRelationshipLookupResponse = 0x13,
+  kError = 0x20,
+};
+
+bool is_request_frame(FrameType type);
+bool is_response_frame(FrameType type);
+/// The response FrameType answering a request of query type `type`.
+FrameType response_frame_type(QueryType type);
+std::string_view frame_type_name(FrameType type);
+
+/// Application-level error codes carried by kError frames.
+enum class WireErrorCode : std::uint8_t {
+  kOverloaded = 1,        ///< Admission control shed the request; retryable.
+  kMalformedRequest = 2,  ///< Request payload undecodable; not retryable.
+  kShuttingDown = 3,      ///< Server is draining; retryable elsewhere/later.
+  kInternal = 4,          ///< Evaluation threw; not retryable.
+};
+std::string_view wire_error_code_name(WireErrorCode code);
+
+/// What exactly was wrong with undecodable bytes.
+enum class WireFault : std::uint8_t {
+  kBadMagic,          ///< First four bytes are not "IRPW".
+  kBadVersion,        ///< Unsupported protocol version.
+  kBadFlags,          ///< Reserved flags byte nonzero.
+  kBadType,           ///< Unknown FrameType.
+  kOversized,         ///< payload_size exceeds the receiver's bound.
+  kChecksumMismatch,  ///< Payload bytes do not hash to the header checksum.
+  kMalformedPayload,  ///< Frame sound, payload encoding invalid for its type.
+};
+std::string_view wire_fault_name(WireFault fault);
+
+/// Thrown by every wire decode path; `fault()` says which rule the bytes
+/// broke. Subclasses CheckError so existing catch sites keep working.
+class WireDecodeError : public CheckError {
+ public:
+  WireDecodeError(WireFault fault, const std::string& what)
+      : CheckError(what), fault_(fault) {}
+  WireFault fault() const { return fault_; }
+
+ private:
+  WireFault fault_;
+};
+
+/// One parsed frame: type + request id + raw (already checksum-verified)
+/// payload bytes.
+struct WireFrame {
+  FrameType type = FrameType::kError;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// The content of a kError frame.
+struct WireError {
+  WireErrorCode code = WireErrorCode::kInternal;
+  std::string message;
+};
+
+// -- Frame layer.
+
+/// Serializes header + payload (checksum computed here).
+std::string encode_frame(const WireFrame& frame);
+
+/// Incremental stream decoder: returns nullopt when `buffer` does not yet
+/// hold a complete frame (read more bytes and call again); on success the
+/// frame's bytes are consumed from the front of `buffer`. Throws
+/// WireDecodeError the moment the buffered bytes are provably not a valid
+/// frame — from the header alone where possible.
+std::optional<WireFrame> try_decode_frame(
+    std::string& buffer, std::size_t max_payload = kMaxWirePayload);
+
+// -- Message layer.
+
+std::string encode_request(std::uint64_t request_id,
+                           const OracleRequest& request);
+std::string encode_response(std::uint64_t request_id,
+                            const OracleResponse& response);
+std::string encode_error(std::uint64_t request_id, WireErrorCode code,
+                         std::string_view message);
+
+/// Decodes a request frame; throws WireDecodeError (kBadType for non-request
+/// frames, kMalformedPayload for invalid encodings).
+OracleRequest decode_request(const WireFrame& frame);
+
+/// Decodes a server reply: either a typed response or a WireError. Throws
+/// WireDecodeError on request frames and invalid encodings.
+std::variant<OracleResponse, WireError> decode_reply(const WireFrame& frame);
+
+/// Canonical `offset: hex |ascii|` rendering (16 bytes per line); the
+/// wire_dump helper builds the PROTOCOL.md worked example from this.
+std::string hex_dump(std::string_view bytes);
+
+}  // namespace irp
