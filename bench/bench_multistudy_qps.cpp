@@ -1,0 +1,286 @@
+// Multi-study RouteOracle benchmark: what does hosting N snapshots behind
+// one endpoint cost versus a dedicated single-study oracle? Emits
+// BENCH_multistudy.json (see bench/run_benches.sh).
+//
+// Three studies (three seeds of the mid-size topology) are loaded into one
+// StudyCatalog — shared path arena, shared classify-cache budget — and a
+// round-robin classify workload is driven through the catalog-backed
+// OracleService. The baseline is the same workload volume against a
+// single-study service. The gap between the two is the routing + shared-
+// budget overhead; the JSON also records the arena sharing ratio (memory
+// won by deduplicating path suffixes across studies) and the per-study
+// cache quotas before and after a hit-rate rebalance, so both sides of the
+// shared-resource trade are visible in the baseline diff.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/passive_study.hpp"
+#include "serve/oracle_service.hpp"
+#include "serve/study_catalog.hpp"
+#include "topo/generator.hpp"
+
+namespace {
+
+using namespace irp;
+
+constexpr int kStudies = 3;
+constexpr const char* kNames[kStudies] = {"epoch-a", "epoch-b", "epoch-c"};
+constexpr std::size_t kQueries = 30000;
+
+struct MultiStudyFixture {
+  struct PerStudy {
+    std::unique_ptr<GeneratedInternet> net;
+    PassiveDataset passive;
+    OracleSnapshot snapshot;  ///< Baseline copy with its own path table.
+    std::unique_ptr<OracleIndex> index;
+    std::size_t distinct_decisions = 0;
+  };
+  std::array<PerStudy, kStudies> studies;
+  std::unique_ptr<StudyCatalog> catalog;
+  /// Round-robin across studies: workload[i] targets study i % kStudies.
+  std::vector<OracleRequest> workload;
+};
+
+MultiStudyFixture& fixture() {
+  static MultiStudyFixture fx = [] {
+    MultiStudyFixture f;
+    StudyCatalogConfig catalog_config;
+    catalog_config.total_cache_capacity = 3 << 14;  // Shared, not per study.
+    f.catalog = std::make_unique<StudyCatalog>(catalog_config);
+    for (int s = 0; s < kStudies; ++s) {
+      MultiStudyFixture::PerStudy& study = f.studies[s];
+      GeneratorConfig config;
+      config.seed = 2026 + static_cast<std::uint64_t>(s);
+      config.world.countries_per_continent = 4;
+      config.world.cities_per_country = 3;
+      config.tier1_count = 8;
+      config.large_isps_per_continent = 4;
+      config.education_per_continent = 2;
+      config.small_isps_per_country = 3;
+      config.stubs_per_country = 8;
+      config.content_orgs = 6;
+      config.cable_count = 4;
+      config.hybrid_pair_count = 4;
+      study.net = generate_internet(config);
+      study.passive = run_passive_study(*study.net, PassiveStudyConfig{});
+      study.snapshot = snapshot_study(study.passive);
+      OracleIndexConfig index_config;
+      index_config.cache_capacity = 1 << 14;  // Same budget as one share.
+      study.index = std::make_unique<OracleIndex>(&study.snapshot,
+                                                  index_config);
+      study.distinct_decisions =
+          std::min<std::size_t>(study.passive.decisions.size(), 2048);
+      f.catalog->add_study(kNames[s], snapshot_study(study.passive));
+    }
+    f.workload.reserve(kQueries);
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      const MultiStudyFixture::PerStudy& study = f.studies[i % kStudies];
+      ClassifyRequest req;
+      req.decision =
+          study.passive.decisions[(i / kStudies) % study.distinct_decisions];
+      req.scenario = ScenarioOptions{};
+      f.workload.emplace_back(std::move(req));
+    }
+    return f;
+  }();
+  return fx;
+}
+
+struct RunResult {
+  double seconds = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Pipelined submission (2 workers, bounded window) of `workload` where
+/// query i goes to `studies[i % studies.size()]`; "" = default-only.
+RunResult run_pipelined(OracleService& service,
+                        const std::vector<OracleRequest>& workload,
+                        const std::vector<std::string>& studies) {
+  constexpr std::size_t kWindow = 256;
+  std::deque<std::future<OracleResponse>> in_flight;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const std::string& study = studies[i % studies.size()];
+    for (;;) {
+      OracleService::Submitted s = service.submit(workload[i], study);
+      if (s.accepted) {
+        in_flight.push_back(std::move(s.response));
+        break;
+      }
+      benchmark::DoNotOptimize(in_flight.front().get());
+      in_flight.pop_front();
+    }
+    while (in_flight.size() >= kWindow) {
+      benchmark::DoNotOptimize(in_flight.front().get());
+      in_flight.pop_front();
+    }
+  }
+  while (!in_flight.empty()) {
+    benchmark::DoNotOptimize(in_flight.front().get());
+    in_flight.pop_front();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const OracleStatsView stats = service.stats();
+  const auto& pt = stats.per_type[static_cast<int>(QueryType::kClassify)];
+  return RunResult{seconds, double(workload.size()) / seconds, pt.p50_us,
+                   pt.p99_us};
+}
+
+void emit_json(const RunResult& single, const RunResult& multi,
+               const StudyCatalog::CacheBudgetView& before,
+               const StudyCatalog::CacheBudgetView& after) {
+  MultiStudyFixture& f = fixture();
+  FILE* out = std::fopen("BENCH_multistudy.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_multistudy.json\n");
+    return;
+  }
+  const StudyCatalog::ArenaStats arena = f.catalog->arena_stats();
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"multistudy_qps\",\n");
+  std::fprintf(out, "  \"studies\": [\n");
+  for (std::size_t s = 0; s < f.catalog->size(); ++s) {
+    const StudyCatalog::Study& study = *f.catalog->studies()[s];
+    std::fprintf(out,
+                 "    {\"id\": \"%s\", \"image_bytes\": %zu, "
+                 "\"own_paths\": %zu}%s\n",
+                 study.id.c_str(), study.image_bytes, study.own_paths,
+                 s + 1 < f.catalog->size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"arena\": {\"arena_paths\": %zu, \"sum_study_paths\": "
+               "%zu, \"sharing\": %.4f},\n",
+               arena.arena_paths, arena.sum_study_paths, arena.sharing());
+  std::fprintf(out,
+               "  \"workload\": {\"queries\": %zu, \"studies\": %d, \"cpus\": "
+               "1, \"mode\": \"pipelined\", \"workers\": 2, \"window\": 256,\n"
+               "   \"note\": \"round-robin across studies; the single-study "
+               "baseline runs the same volume against one dedicated "
+               "oracle\"},\n",
+               kQueries, kStudies);
+  auto emit_run = [&](const char* key, const RunResult& r,
+                      const char* trailer) {
+    std::fprintf(out,
+                 "  \"%s\": {\"seconds\": %.4f, \"qps\": %.0f, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f%s},\n",
+                 key, r.seconds, r.qps, r.p50_us, r.p99_us, trailer);
+  };
+  emit_run("single_study", single, "");
+  char trailer[64];
+  std::snprintf(trailer, sizeof trailer, ", \"qps_vs_single\": %.3f",
+                multi.qps / single.qps);
+  emit_run("multistudy", multi, trailer);
+  auto emit_budget = [&](const char* key,
+                         const StudyCatalog::CacheBudgetView& view,
+                         bool last) {
+    std::fprintf(out, "  \"%s\": {\"total_capacity\": %zu, \"per_study\": [\n",
+                 key, view.total_capacity);
+    for (std::size_t s = 0; s < view.per_study.size(); ++s) {
+      const auto& per = view.per_study[s];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"quota\": %zu, \"entries\": %zu, "
+                   "\"hit_rate\": %.4f}%s\n",
+                   per.name.c_str(), per.quota, per.stats.entries,
+                   per.stats.hit_rate(),
+                   s + 1 < view.per_study.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]}%s\n", last ? "" : ",");
+  };
+  emit_budget("cache_budget", before, false);
+  emit_budget("cache_budget_rebalanced", after, true);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_multistudy.json\n");
+}
+
+void print_multistudy_qps() {
+  MultiStudyFixture& f = fixture();
+  const StudyCatalog::ArenaStats arena = f.catalog->arena_stats();
+  std::printf("Multi-study RouteOracle — %d studies, %zu classify queries "
+              "round-robin\n",
+              kStudies, f.workload.size());
+  std::printf("(shared arena: %zu nodes for %zu study paths, %.1f%% "
+              "shared)\n\n",
+              arena.arena_paths, arena.sum_study_paths,
+              arena.sharing() * 100.0);
+
+  // Baseline: the same query volume against one dedicated oracle.
+  RunResult single;
+  {
+    OracleService service(f.studies[0].index.get(),
+                          OracleService::Config{2, 256});
+    std::vector<OracleRequest> workload;
+    workload.reserve(kQueries);
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      ClassifyRequest req;
+      req.decision = f.studies[0]
+                         .passive.decisions[i % f.studies[0].distinct_decisions];
+      req.scenario = ScenarioOptions{};
+      workload.emplace_back(std::move(req));
+    }
+    single = run_pipelined(service, workload, {""});
+  }
+
+  // Catalog: round-robin across the three studies by name.
+  RunResult multi;
+  StudyCatalog::CacheBudgetView before, after;
+  {
+    OracleService service(f.catalog.get(), OracleService::Config{2, 256});
+    multi = run_pipelined(service, f.workload,
+                          {kNames[0], kNames[1], kNames[2]});
+    before = f.catalog->cache_budget();
+    f.catalog->rebalance_cache();
+    after = f.catalog->cache_budget();
+  }
+
+  std::printf("  %-16s %12s %10s %10s\n", "mode", "qps", "p50(us)",
+              "p99(us)");
+  std::printf("  %-16s %12.0f %10.2f %10.2f\n", "single_study", single.qps,
+              single.p50_us, single.p99_us);
+  std::printf("  %-16s %12.0f %10.2f %10.2f\n", "multistudy", multi.qps,
+              multi.p50_us, multi.p99_us);
+  std::printf("\n  multistudy vs single-study qps: %.3fx\n",
+              multi.qps / single.qps);
+  for (const auto& per : after.per_study)
+    std::printf("  study %-10s quota=%zu entries=%zu hit_rate=%.1f%%\n",
+                per.name.c_str(), per.quota, per.stats.entries,
+                100.0 * per.stats.hit_rate());
+  std::printf("\n");
+
+  emit_json(single, multi, before, after);
+}
+
+void BM_MultiStudyClassifyDirect(benchmark::State& state) {
+  MultiStudyFixture& f = fixture();
+  OracleService service(f.catalog.get(), OracleService::Config{0, 1});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t q = i++ % f.workload.size();
+    benchmark::DoNotOptimize(
+        service.answer(f.workload[q], kNames[q % kStudies]));
+  }
+}
+BENCHMARK(BM_MultiStudyClassifyDirect);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_multistudy_qps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

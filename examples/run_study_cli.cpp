@@ -9,29 +9,37 @@
 //   run_study_cli snapshot --out FILE [--seed N] [--scale N] [--threads N]
 //       Run the passive study and freeze it into a binary oracle snapshot.
 //
-//   run_study_cli query --snapshot FILE [--queries FILE]
-//   run_study_cli query --connect HOST:PORT [--queries FILE]
+//   run_study_cli query --snapshot [NAME=]FILE [--study NAME]
+//                       [--queries FILE]
+//   run_study_cli query --connect HOST:PORT [--study NAME] [--queries FILE]
 //       Answer queries from --queries or stdin, one per line:
 //         classify DECIDER NEXT_HOP DEST PREFIX REMAINING
 //                  [hybrid] [siblings] [psp1|psp2]   (flags on the same line)
 //         routes ASN PREFIX
 //         psp ORIGIN NEIGHBOR PREFIX
 //         rel A B
-//       With --snapshot, a local snapshot answers synchronously
-//       (deterministic, single-threaded). With --connect, each query goes
-//       over OracleWire (docs/PROTOCOL.md) to a `serve --listen` process;
-//       the printed answers are byte-identical either way.
+//       With --snapshot (repeatable: NAME=FILE loads several studies), a
+//       local catalog answers synchronously (deterministic,
+//       single-threaded); --study picks which study answers (default: the
+//       first loaded). With --connect, each query goes over OracleWire
+//       (docs/PROTOCOL.md) to a `serve --listen` process, --study riding in
+//       the version-2 study flag; the printed answers are byte-identical
+//       either way.
 //
-//   run_study_cli serve --snapshot FILE [--workers N] [--queue N]
+//   run_study_cli serve --snapshot [NAME=]FILE [--workers N] [--queue N]
+//                       [--cache-budget N] [--study NAME]
 //                       [--queries FILE | --listen PORT [--bind ADDR]]
+//       --snapshot is repeatable: `NAME=FILE` hosts several studies behind
+//       one endpoint sharing a path arena and one classify-cache budget
+//       (--cache-budget entries total, rebalanced by per-study hit rates).
 //       Without --listen: the same query stream, submitted through the
-//       concurrent OracleService (bounded queue + worker pool); prints each
-//       response in submission order, then the service stats. Overloaded
-//       submissions are reported as "rejected (queue full)".
-//       With --listen: serves OracleWire over TCP until SIGINT/SIGTERM,
-//       then drains gracefully and prints wire + service stats. --listen 0
-//       picks an ephemeral port (printed on startup). --bind defaults to
-//       127.0.0.1; use 0.0.0.0 to accept remote hosts.
+//       concurrent OracleService (bounded queue + worker pool) against
+//       --study; prints each response in submission order, then the service
+//       stats. Overloaded submissions are reported as "rejected (queue
+//       full)". With --listen: serves OracleWire over TCP until
+//       SIGINT/SIGTERM, then drains gracefully and prints wire + service
+//       stats. --listen 0 picks an ephemeral port (printed on startup).
+//       --bind defaults to 127.0.0.1; use 0.0.0.0 to accept remote hosts.
 //
 // --scale multiplies the edge population (stubs and access ISPs); the
 // default (1) matches the paper-calibrated configuration. --threads runs
@@ -54,6 +62,7 @@
 #include "serve/oracle_client.hpp"
 #include "serve/oracle_server.hpp"
 #include "serve/oracle_service.hpp"
+#include "serve/study_catalog.hpp"
 #include "topo/serialize.hpp"
 #include "util/check.hpp"
 #include "util/file.hpp"
@@ -69,12 +78,77 @@ namespace {
       "usage: %s [--seed N] [--scale N] [--threads N] [--out DIR]\n"
       "          [--no-active] [--save-topology FILE] [--caida-out FILE]\n"
       "       %s snapshot --out FILE [--seed N] [--scale N] [--threads N]\n"
-      "       %s query {--snapshot FILE | --connect HOST:PORT}\n"
-      "          [--queries FILE]\n"
-      "       %s serve --snapshot FILE [--workers N] [--queue N]\n"
+      "       %s query {--snapshot [NAME=]FILE ... | --connect HOST:PORT}\n"
+      "          [--study NAME] [--queries FILE]\n"
+      "       %s serve --snapshot [NAME=]FILE ... [--workers N] [--queue N]\n"
+      "          [--cache-budget N] [--study NAME]\n"
       "          [--queries FILE | --listen PORT [--bind ADDR]]\n",
       argv0, argv0, argv0, argv0);
   std::exit(2);
+}
+
+/// Checked integer flag parse: the whole value must be a decimal in
+/// [min, max] — "abc", "", "-1" and "12x" are usage errors, never a silent
+/// 0 the way atoi would have it.
+std::uint64_t u64_flag(const char* argv0, const char* flag, const char* text,
+                       std::uint64_t min, std::uint64_t max) {
+  const std::optional<std::uint64_t> value = parse_u64_in(text, min, max);
+  if (!value) {
+    std::fprintf(stderr,
+                 "error: %s expects an integer in [%llu, %llu], got '%s'\n",
+                 flag, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max), text);
+    usage(argv0);
+  }
+  return *value;
+}
+
+/// One --snapshot value: "NAME=PATH" names the study, a bare path loads it
+/// as "default". Loads every spec into `catalog` (first spec = default
+/// study) and prints a per-study line.
+struct SnapshotSpec {
+  std::string name;
+  std::string path;
+};
+
+SnapshotSpec parse_snapshot_spec(const char* argv0, const std::string& text) {
+  SnapshotSpec spec;
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos) {
+    spec.name = "default";
+    spec.path = text;
+  } else {
+    spec.name = text.substr(0, eq);
+    spec.path = text.substr(eq + 1);
+  }
+  if (spec.name.empty() || spec.path.empty()) {
+    std::fprintf(stderr, "error: --snapshot expects [NAME=]FILE, got '%s'\n",
+                 text.c_str());
+    usage(argv0);
+  }
+  return spec;
+}
+
+void load_catalog(StudyCatalog& catalog,
+                  const std::vector<SnapshotSpec>& specs) {
+  // Diagnostics go to stderr: query-mode stdout must stay byte-identical
+  // between the local and --connect paths.
+  for (const SnapshotSpec& spec : specs) {
+    const StudyCatalog::Study& study =
+        catalog.add_study_file(spec.name, spec.path);
+    std::fprintf(stderr,
+                 "# loaded study %s (%zu prefixes, %zu paths, %zu bytes)\n",
+                 study.id.c_str(), study.snapshot.routes.size(),
+                 study.own_paths, study.image_bytes);
+  }
+  if (catalog.size() > 1) {
+    const StudyCatalog::ArenaStats arena = catalog.arena_stats();
+    std::fprintf(stderr,
+                 "# shared path arena: %zu nodes for %zu study paths "
+                 "(%.1f%% shared)\n",
+                 arena.arena_paths, arena.sum_study_paths,
+                 arena.sharing() * 100.0);
+  }
 }
 
 /// Parses one query line into a request; nullopt for blank/comment lines.
@@ -170,17 +244,17 @@ StudyConfig parse_study_flags(int argc, char** argv, int first,
       return argv[++i];
     };
     if (arg == "--seed")
-      config.generator.seed = std::strtoull(next(), nullptr, 10);
+      config.generator.seed = u64_flag(argv[0], "--seed", next(), 0, UINT64_MAX);
     else if (arg == "--scale")
-      scale = std::atoi(next());
+      scale = static_cast<int>(u64_flag(argv[0], "--scale", next(), 1, 1024));
     else if (arg == "--threads")
-      config.passive.parallel.threads = std::atoi(next());
+      config.passive.parallel.threads =
+          static_cast<int>(u64_flag(argv[0], "--threads", next(), 0, 4096));
     else if (arg == "--out")
       *out_path = next();
     else
       usage(argv[0]);
   }
-  if (scale < 1) usage(argv[0]);
   config.generator.stubs_per_country *= scale;
   config.generator.small_isps_per_country *= scale;
   config.run_active = false;  // The oracle serves the passive study.
@@ -206,7 +280,8 @@ int cmd_snapshot(int argc, char** argv) {
 }
 
 int cmd_query(int argc, char** argv) {
-  std::string snapshot_path, queries_file, connect;
+  std::vector<SnapshotSpec> snapshots;
+  std::string queries_file, connect, study;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -214,15 +289,17 @@ int cmd_query(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--snapshot")
-      snapshot_path = next();
+      snapshots.push_back(parse_snapshot_spec(argv[0], next()));
     else if (arg == "--connect")
       connect = next();
+    else if (arg == "--study")
+      study = next();
     else if (arg == "--queries")
       queries_file = next();
     else
       usage(argv[0]);
   }
-  if (snapshot_path.empty() == connect.empty()) usage(argv[0]);
+  if (snapshots.empty() == connect.empty()) usage(argv[0]);
 
   if (!connect.empty()) {
     // Remote mode: the same answers, fetched over OracleWire. The output
@@ -233,28 +310,30 @@ int cmd_query(int argc, char** argv) {
               "--connect expects HOST:PORT, got " + connect);
     OracleClient::Config cc;
     cc.host = connect.substr(0, colon);
-    cc.port = static_cast<std::uint16_t>(
-        std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
-    IRP_CHECK(cc.port != 0, "--connect expects a nonzero port in " + connect);
+    cc.port = static_cast<std::uint16_t>(u64_flag(
+        argv[0], "--connect port", connect.c_str() + colon + 1, 1, 65535));
+    cc.study = study;
     OracleClient client(cc);
     for (const OracleRequest& request : read_queries(queries_file))
       std::printf("%s\n", to_text(client.call(request)).c_str());
     return 0;
   }
 
-  const OracleSnapshot snap = OracleSnapshot::load(snapshot_path);
-  const OracleIndex index(&snap);
-  OracleService service(&index, OracleService::Config{0, 1});
+  StudyCatalog catalog;
+  load_catalog(catalog, snapshots);
+  OracleService service(&catalog, OracleService::Config{0, 1});
 
   for (const OracleRequest& request : read_queries(queries_file))
-    std::printf("%s\n", to_text(service.answer(request)).c_str());
+    std::printf("%s\n", to_text(service.answer(request, study)).c_str());
   return 0;
 }
 
 void print_service_stats(const OracleStatsView& stats) {
-  std::printf("# served=%llu rejected=%llu peak_queue=%zu cache_hit_rate=%.3f\n",
+  std::printf("# served=%llu rejected=%llu unknown_study=%llu peak_queue=%zu "
+              "cache_hit_rate=%.3f\n",
               static_cast<unsigned long long>(stats.served),
               static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.unknown_study),
               stats.peak_queue_depth, stats.cache.hit_rate());
   for (int t = 0; t < kNumQueryTypes; ++t) {
     const auto& pt = stats.per_type[t];
@@ -265,11 +344,21 @@ void print_service_stats(const OracleStatsView& stats) {
                 static_cast<unsigned long long>(pt.rejected), pt.p50_us,
                 pt.p99_us);
   }
+  if (stats.per_study.size() <= 1) return;
+  for (const auto& per : stats.per_study) {
+    std::printf("#   study %s: served=%llu rejected=%llu p50=%.1fus "
+                "p99=%.1fus cache_quota=%zu cache_hit_rate=%.3f\n",
+                per.name.c_str(),
+                static_cast<unsigned long long>(per.served),
+                static_cast<unsigned long long>(per.rejected), per.p50_us,
+                per.p99_us, per.cache.capacity, per.cache.hit_rate());
+  }
 }
 
 /// `serve --listen`: OracleWire over TCP until SIGINT/SIGTERM, then a
 /// graceful drain (accepted requests answered, new connections refused).
-int serve_network(const OracleIndex& index, OracleService::Config service_cfg,
+int serve_network(const StudyCatalog& catalog,
+                  OracleService::Config service_cfg,
                   OracleServer::Config server_cfg) {
   // Block the shutdown signals before any thread exists so the worker and
   // poll threads inherit the mask and sigwait() below is race-free.
@@ -279,11 +368,12 @@ int serve_network(const OracleIndex& index, OracleService::Config service_cfg,
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
-  OracleService service(&index, service_cfg);
+  OracleService service(&catalog, service_cfg);
   OracleServer server(&service, server_cfg);
   server.start();
-  std::printf("oracle serving on %s:%u (workers=%d queue=%zu); "
+  std::printf("oracle serving %zu stud%s on %s:%u (workers=%d queue=%zu); "
               "SIGINT/SIGTERM drains and exits\n",
+              catalog.size(), catalog.size() == 1 ? "y" : "ies",
               server_cfg.bind_address.c_str(), server.port(),
               service_cfg.worker_threads, service_cfg.queue_capacity);
   std::fflush(stdout);
@@ -297,14 +387,15 @@ int serve_network(const OracleIndex& index, OracleService::Config service_cfg,
   const WireServerStats wire = server.stats();
   std::printf(
       "# wire: conns=%llu refused=%llu frames_in=%llu frames_out=%llu "
-      "admitted=%llu shed=%llu decode_errors=%llu bytes_in=%llu "
-      "bytes_out=%llu\n",
+      "admitted=%llu shed=%llu unknown_study=%llu decode_errors=%llu "
+      "bytes_in=%llu bytes_out=%llu\n",
       static_cast<unsigned long long>(wire.connections_accepted),
       static_cast<unsigned long long>(wire.connections_refused),
       static_cast<unsigned long long>(wire.frames_in),
       static_cast<unsigned long long>(wire.frames_out),
       static_cast<unsigned long long>(wire.requests_admitted),
       static_cast<unsigned long long>(wire.requests_shed),
+      static_cast<unsigned long long>(wire.requests_unknown_study),
       static_cast<unsigned long long>(wire.decode_errors),
       static_cast<unsigned long long>(wire.bytes_in),
       static_cast<unsigned long long>(wire.bytes_out));
@@ -321,10 +412,12 @@ int serve_network(const OracleIndex& index, OracleService::Config service_cfg,
 }
 
 int cmd_serve(int argc, char** argv) {
-  std::string snapshot_path, queries_file;
+  std::vector<SnapshotSpec> snapshots;
+  std::string queries_file, study;
   OracleService::Config service_config;
   service_config.worker_threads = 2;
   OracleServer::Config server_config;
+  StudyCatalogConfig catalog_config;
   bool listen = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -333,39 +426,49 @@ int cmd_serve(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--snapshot")
-      snapshot_path = next();
+      snapshots.push_back(parse_snapshot_spec(argv[0], next()));
     else if (arg == "--queries")
       queries_file = next();
+    else if (arg == "--study")
+      study = next();
     else if (arg == "--workers")
-      service_config.worker_threads = std::atoi(next());
+      service_config.worker_threads =
+          static_cast<int>(u64_flag(argv[0], "--workers", next(), 1, 4096));
     else if (arg == "--queue")
-      service_config.queue_capacity =
-          static_cast<std::size_t>(std::atoll(next()));
+      service_config.queue_capacity = static_cast<std::size_t>(
+          u64_flag(argv[0], "--queue", next(), 1, 100'000'000));
+    else if (arg == "--cache-budget")
+      catalog_config.total_cache_capacity = static_cast<std::size_t>(
+          u64_flag(argv[0], "--cache-budget", next(), 0, 100'000'000));
     else if (arg == "--listen") {
       listen = true;
-      server_config.port =
-          static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+      server_config.port = static_cast<std::uint16_t>(
+          u64_flag(argv[0], "--listen", next(), 0, 65535));
     } else if (arg == "--bind")
       server_config.bind_address = next();
     else
       usage(argv[0]);
   }
-  if (snapshot_path.empty() || service_config.worker_threads < 1)
-    usage(argv[0]);
+  if (snapshots.empty()) usage(argv[0]);
   if (listen && !queries_file.empty()) usage(argv[0]);
 
-  const OracleSnapshot snap = OracleSnapshot::load(snapshot_path);
-  const OracleIndex index(&snap);
-  if (listen) return serve_network(index, service_config, server_config);
-  OracleService service(&index, service_config);
+  StudyCatalog catalog(catalog_config);
+  load_catalog(catalog, snapshots);
+  // Re-weight each study's classify-cache quota every few thousand answers
+  // so a hot study earns capacity from cold ones (docs/OPERATIONS.md).
+  if (catalog.size() > 1) service_config.cache_rebalance_every = 4096;
+  if (listen) return serve_network(catalog, service_config, server_config);
+  OracleService service(&catalog, service_config);
 
   const std::vector<OracleRequest> queries = read_queries(queries_file);
   std::vector<OracleService::Submitted> submitted;
   submitted.reserve(queries.size());
   for (const OracleRequest& request : queries)
-    submitted.push_back(service.submit(request));
+    submitted.push_back(service.submit(request, study));
   for (OracleService::Submitted& s : submitted) {
-    if (!s.accepted)
+    if (s.reject == OracleService::Reject::kUnknownStudy)
+      std::printf("rejected (unknown study)\n");
+    else if (!s.accepted)
       std::printf("rejected (queue full)\n");
     else
       std::printf("%s\n", to_text(s.response.get()).c_str());
@@ -389,11 +492,13 @@ int cmd_legacy(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed")
-      config.generator.seed = std::strtoull(next(), nullptr, 10);
+      config.generator.seed =
+          u64_flag(argv[0], "--seed", next(), 0, UINT64_MAX);
     else if (arg == "--scale")
-      scale = std::atoi(next());
+      scale = static_cast<int>(u64_flag(argv[0], "--scale", next(), 1, 1024));
     else if (arg == "--threads")
-      config.passive.parallel.threads = std::atoi(next());
+      config.passive.parallel.threads =
+          static_cast<int>(u64_flag(argv[0], "--threads", next(), 0, 4096));
     else if (arg == "--out")
       out_dir = next();
     else if (arg == "--no-active")
@@ -405,7 +510,6 @@ int cmd_legacy(int argc, char** argv) {
     else
       usage(argv[0]);
   }
-  if (scale < 1) usage(argv[0]);
   config.generator.stubs_per_country *= scale;
   config.generator.small_isps_per_country *= scale;
 

@@ -1,9 +1,11 @@
-// wire_dump: regenerates the worked OracleWire example in docs/PROTOCOL.md.
+// wire_dump: regenerates the worked OracleWire examples in docs/PROTOCOL.md.
 //
 // Prints one canonical ClassifyDecision round trip — the request frame and
 // its response frame, each as an annotated header-field breakdown plus a
-// full hex dump. The output is deterministic (fixed example values, no
-// clock, no RNG), so the spec's example can be refreshed verbatim:
+// full hex dump — then the same request addressed to a named study (a
+// version-2 frame with kWireFlagStudy set). The output is deterministic
+// (fixed example values, no clock, no RNG), so the spec's examples can be
+// refreshed verbatim:
 //
 //   ./build/examples/wire_dump
 //
@@ -80,5 +82,10 @@ int main() {
   std::printf("\n");
   dump_frame("Response frame: classify_response",
              encode_response(request_id, OracleResponse{response}));
+  std::printf("\n");
+  // The same request routed to study "epoch-b": version bumps to 2, flags
+  // gains kWireFlagStudy, and the payload is prefixed with str("epoch-b").
+  dump_frame("Request frame: classify_request for study \"epoch-b\"",
+             encode_request(request_id, OracleRequest{request}, "epoch-b"));
   return 0;
 }

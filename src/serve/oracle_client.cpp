@@ -126,6 +126,7 @@ void OracleClient::send_all(const std::string& bytes,
       sent += static_cast<std::size_t>(n);
       continue;
     }
+    if (errno == EINTR) continue;  // Interrupted, nothing moved; retry.
     if (errno != EAGAIN && errno != EWOULDBLOCK)
       transport_fail(WireTransportError::Kind::kIo,
                      std::string("send failed — ") + std::strerror(errno));
@@ -134,7 +135,9 @@ void OracleClient::send_all(const std::string& bytes,
       transport_fail(WireTransportError::Kind::kTimeout,
                      "request not sent within the timeout");
     pollfd pfd{fd_, POLLOUT, 0};
-    ::poll(&pfd, 1, timeout);
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready < 0 && errno != EINTR)
+      transport_fail(WireTransportError::Kind::kIo, "poll failed");
   }
 }
 
@@ -149,8 +152,12 @@ WireFrame OracleClient::read_frame(Clock::time_point deadline) {
                          std::to_string(config_.read_timeout.count()) + "ms");
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, timeout);
-    if (ready < 0)
+    if (ready < 0) {
+      // Same rule the server's poll loop applies: a signal landing between
+      // frames is not an I/O failure — re-check the deadline and wait again.
+      if (errno == EINTR) continue;
       transport_fail(WireTransportError::Kind::kIo, "poll failed");
+    }
     if (ready == 0) continue;  // Deadline re-checked above.
     char buf[65536];
     const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
@@ -159,7 +166,7 @@ WireFrame OracleClient::read_frame(Clock::time_point deadline) {
     else if (n == 0)
       transport_fail(WireTransportError::Kind::kClosed,
                      "server closed the connection before replying");
-    else if (errno != EAGAIN && errno != EWOULDBLOCK)
+    else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
       transport_fail(WireTransportError::Kind::kIo,
                      std::string("recv failed — ") + std::strerror(errno));
   }
@@ -169,7 +176,7 @@ OracleResponse OracleClient::attempt(const OracleRequest& request) {
   ensure_connected();
   const std::uint64_t id = next_request_id_++;
   const Clock::time_point deadline = Clock::now() + config_.read_timeout;
-  send_all(encode_request(id, request), deadline);
+  send_all(encode_request(id, request, config_.study), deadline);
   for (;;) {
     const WireFrame frame = read_frame(deadline);
     if (frame.request_id != id) continue;  // Stale reply from a prior retry.

@@ -78,6 +78,11 @@ class OracleClient {
     std::chrono::milliseconds retry_backoff{50};
     /// Frames claiming a larger payload are rejected from the header alone.
     std::size_t max_frame_payload = kMaxWirePayload;
+    /// Study id every request is routed to ("" = the server's default
+    /// study). Nonempty ids make the client emit version-2 frames with
+    /// kWireFlagStudy; a server that does not host the id answers every
+    /// call with OracleServerError(kUnknownStudy), never retried.
+    std::string study;
   };
 
   explicit OracleClient(Config config);

@@ -53,12 +53,32 @@ ClassifyCache::ClassifyCache(std::size_t capacity, std::size_t shards)
   per_shard_capacity_ = capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / shards);
 }
 
+void ClassifyCache::trim_locked(Shard& shard, std::size_t bound) {
+  while (shard.lru.size() > bound) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ClassifyCache::set_capacity(std::size_t capacity) {
+  const std::size_t shards = shards_.size();
+  const std::size_t per_shard =
+      capacity == 0 ? 0 : std::max<std::size_t>(1, capacity / shards);
+  capacity_.store(capacity, std::memory_order_relaxed);
+  per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    trim_locked(*shard, per_shard);
+  }
+}
+
 ClassifyCache::Shard& ClassifyCache::shard_for(const ClassifyKey& key) {
   return *shards_[ClassifyKeyHash{}(key) % shards_.size()];
 }
 
 std::optional<DecisionCategory> ClassifyCache::get(const ClassifyKey& key) {
-  if (per_shard_capacity_ == 0) {
+  if (per_shard_capacity_.load(std::memory_order_relaxed) == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -75,7 +95,9 @@ std::optional<DecisionCategory> ClassifyCache::get(const ClassifyKey& key) {
 }
 
 void ClassifyCache::put(const ClassifyKey& key, DecisionCategory value) {
-  if (per_shard_capacity_ == 0) return;
+  const std::size_t bound =
+      per_shard_capacity_.load(std::memory_order_relaxed);
+  if (bound == 0) return;
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -86,18 +108,14 @@ void ClassifyCache::put(const ClassifyKey& key, DecisionCategory value) {
   }
   shard.lru.emplace_front(key, value);
   shard.map.emplace(key, shard.lru.begin());
-  if (shard.lru.size() > per_shard_capacity_) {
-    shard.map.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    ++shard.evictions;
-  }
+  trim_locked(shard, bound);
 }
 
 ClassifyCache::Stats ClassifyCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
-  s.capacity = capacity_;
+  s.capacity = capacity_.load(std::memory_order_relaxed);
   s.shards = shards_.size();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -109,10 +127,17 @@ ClassifyCache::Stats ClassifyCache::stats() const {
 
 OracleIndex::OracleIndex(const OracleSnapshot* snapshot,
                          OracleIndexConfig config)
+    : OracleIndex(snapshot, nullptr, config) {}
+
+OracleIndex::OracleIndex(const OracleSnapshot* snapshot,
+                         const PathTable* shared_paths,
+                         OracleIndexConfig config)
     : snap_(snapshot),
+      paths_(shared_paths),
       route_shards_(std::max<std::size_t>(1, config.route_shards)),
       cache_(config.cache_capacity, config.cache_shards) {
   IRP_CHECK(snap_ != nullptr, "oracle index requires a snapshot");
+  if (paths_ == nullptr) paths_ = &snap_->paths;
 
   // Rebuild the study views. Insertion through the same public mutators the
   // live pipeline uses guarantees the materialized state is identical to the

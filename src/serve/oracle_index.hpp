@@ -80,6 +80,16 @@ class ClassifyCache {
   void put(const ClassifyKey& key, DecisionCategory value);
   Stats stats() const;
 
+  /// Re-budgets the cache in place: the new total is split over the existing
+  /// shards and each shard's LRU tail is trimmed to the new per-shard bound.
+  /// Thread-safe against concurrent get/put; capacity 0 disables the cache
+  /// (and drops everything cached). StudyCatalog uses this to move quota
+  /// between studies sharing one budget.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Shard {
     std::mutex mu;
@@ -91,10 +101,11 @@ class ClassifyCache {
   };
 
   Shard& shard_for(const ClassifyKey& key);
+  static void trim_locked(Shard& shard, std::size_t bound);
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::size_t per_shard_capacity_ = 0;
-  std::size_t capacity_ = 0;
+  std::atomic<std::size_t> per_shard_capacity_{0};
+  std::atomic<std::size_t> capacity_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };
@@ -112,6 +123,13 @@ class OracleIndex {
   explicit OracleIndex(const OracleSnapshot* snapshot,
                        OracleIndexConfig config = {});
 
+  /// Multi-study form: `shared_paths` (when non-null) overrides the
+  /// snapshot's own path table as the arena behind paths() — the snapshot's
+  /// route entries must already hold PathIds of that arena (StudyCatalog
+  /// remaps them on load). The arena must outlive the index.
+  OracleIndex(const OracleSnapshot* snapshot, const PathTable* shared_paths,
+              OracleIndexConfig config);
+
   OracleIndex(const OracleIndex&) = delete;
   OracleIndex& operator=(const OracleIndex&) = delete;
 
@@ -121,7 +139,7 @@ class OracleIndex {
   const HybridDataset& hybrid() const { return hybrid_; }
   const BgpObservations& observations() const { return observations_; }
   const DecisionClassifier& classifier() const { return *classifier_; }
-  const PathTable& paths() const { return snap_->paths; }
+  const PathTable& paths() const { return *paths_; }
   std::size_t num_ases() const { return snap_->num_ases; }
 
   /// Classification with DecisionClassifier semantics, memoized through the
@@ -140,6 +158,11 @@ class OracleIndex {
                                           const Ipv4Prefix& prefix) const;
 
   ClassifyCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Re-budgets the classify cache (see ClassifyCache::set_capacity). Safe
+  /// to call concurrently with queries; answers never change, only latency.
+  void set_cache_capacity(std::size_t capacity) const {
+    cache_.set_capacity(capacity);
+  }
   std::size_t num_route_shards() const { return route_shards_.size(); }
   std::size_t shard_entries(std::size_t shard) const {
     return route_shards_[shard].by_prefix.size();
@@ -153,6 +176,7 @@ class OracleIndex {
   };
 
   const OracleSnapshot* snap_;
+  const PathTable* paths_;
   InferredTopology topo_;
   SiblingGroups siblings_;
   HybridDataset hybrid_;

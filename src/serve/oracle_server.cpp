@@ -72,6 +72,7 @@ struct OracleServer::Impl {
   std::atomic<std::uint64_t> frames_out{0};
   std::atomic<std::uint64_t> requests_admitted{0};
   std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> requests_unknown_study{0};
   std::atomic<std::uint64_t> decode_errors{0};
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
@@ -166,6 +167,7 @@ WireServerStats OracleServer::stats() const {
   s.frames_out = im.frames_out.load();
   s.requests_admitted = im.requests_admitted.load();
   s.requests_shed = im.requests_shed.load();
+  s.requests_unknown_study = im.requests_unknown_study.load();
   s.decode_errors = im.decode_errors.load();
   s.bytes_in = im.bytes_in.load();
   s.bytes_out = im.bytes_out.load();
@@ -214,12 +216,21 @@ void OracleServer::poll_loop() {
         }
         const QueryType type = query_type(request);
         OracleService::Submitted submitted =
-            service_->submit(std::move(request));
+            service_->submit(std::move(request), frame->study);
         if (!submitted.accepted) {
-          im.requests_shed.fetch_add(1, std::memory_order_relaxed);
-          im.queue_frame(conn, encode_error(frame->request_id,
-                                            WireErrorCode::kOverloaded,
-                                            "service queue full"));
+          if (submitted.reject == OracleService::Reject::kUnknownStudy) {
+            im.requests_unknown_study.fetch_add(1, std::memory_order_relaxed);
+            im.queue_frame(conn,
+                           encode_error(frame->request_id,
+                                        WireErrorCode::kUnknownStudy,
+                                        "unknown study '" + frame->study +
+                                            "'"));
+          } else {
+            im.requests_shed.fetch_add(1, std::memory_order_relaxed);
+            im.queue_frame(conn, encode_error(frame->request_id,
+                                              WireErrorCode::kOverloaded,
+                                              "service queue full"));
+          }
           continue;
         }
         im.requests_admitted.fetch_add(1, std::memory_order_relaxed);
@@ -249,6 +260,8 @@ void OracleServer::poll_loop() {
         im.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
                                std::memory_order_relaxed);
         conn.out_buf.erase(0, static_cast<std::size_t>(n));
+      } else if (errno == EINTR) {
+        continue;  // Interrupted before any byte moved; just retry.
       } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return true;
       } else {
@@ -385,6 +398,8 @@ void OracleServer::poll_loop() {
         } else if (n == 0) {
           conn.read_closed = true;
           break;
+        } else if (errno == EINTR) {
+          continue;  // A signal is not a peer disconnect; retry the read.
         } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
           break;
         } else {

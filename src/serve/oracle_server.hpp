@@ -58,6 +58,7 @@ struct WireServerStats {
   std::uint64_t frames_out = 0;
   std::uint64_t requests_admitted = 0;  ///< Passed service admission control.
   std::uint64_t requests_shed = 0;      ///< kOverloaded error frames sent.
+  std::uint64_t requests_unknown_study = 0;  ///< kUnknownStudy frames sent.
   std::uint64_t decode_errors = 0;      ///< Connections poisoned by bad bytes.
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;

@@ -149,10 +149,11 @@ double LatencyHistogram::quantile_us(double q) const {
 }
 
 OracleService::OracleService(const OracleIndex* index, Config config)
-    : index_(index), config_(config) {
+    : index_(index), catalog_(nullptr), config_(config) {
   IRP_CHECK(index_ != nullptr, "oracle service requires an index");
   IRP_CHECK(config_.worker_threads >= 0, "worker_threads must be >= 0");
   IRP_CHECK(config_.queue_capacity > 0, "queue_capacity must be positive");
+  study_counters_.push_back(std::make_unique<TypeCounters>());
   workers_.reserve(static_cast<std::size_t>(config_.worker_threads));
   for (int i = 0; i < config_.worker_threads; ++i)
     workers_.emplace_back([this] { worker_main(); });
@@ -161,26 +162,76 @@ OracleService::OracleService(const OracleIndex* index, Config config)
 OracleService::OracleService(const OracleIndex* index)
     : OracleService(index, Config{}) {}
 
+OracleService::OracleService(const StudyCatalog* catalog, Config config)
+    : index_(nullptr), catalog_(catalog), config_(config) {
+  IRP_CHECK(catalog_ != nullptr, "oracle service requires a catalog");
+  IRP_CHECK(catalog_->size() > 0, "oracle service catalog holds no studies");
+  IRP_CHECK(config_.worker_threads >= 0, "worker_threads must be >= 0");
+  IRP_CHECK(config_.queue_capacity > 0, "queue_capacity must be positive");
+  index_ = catalog_->default_study()->index.get();
+  for (std::size_t i = 0; i < catalog_->size(); ++i)
+    study_counters_.push_back(std::make_unique<TypeCounters>());
+  workers_.reserve(static_cast<std::size_t>(config_.worker_threads));
+  for (int i = 0; i < config_.worker_threads; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
 OracleService::~OracleService() { shutdown(); }
+
+const OracleIndex* OracleService::resolve(std::string_view study,
+                                          std::uint32_t* ordinal) const {
+  if (catalog_ == nullptr) {
+    // Single-index mode hosts exactly one anonymous study.
+    if (!study.empty()) return nullptr;
+    *ordinal = 0;
+    return index_;
+  }
+  const StudyCatalog::Study* found = catalog_->find(study);
+  if (found == nullptr) return nullptr;
+  *ordinal = found->ordinal;
+  return found->index.get();
+}
 
 OracleResponse OracleService::answer(const OracleRequest& request) const {
   return std::visit(Evaluator{index_}, request);
 }
 
+OracleResponse OracleService::answer(const OracleRequest& request,
+                                     std::string_view study) const {
+  std::uint32_t ordinal = 0;
+  const OracleIndex* index = resolve(study, &ordinal);
+  if (index == nullptr) {
+    unknown_study_.fetch_add(1, std::memory_order_relaxed);
+    throw UnknownStudyError(study);
+  }
+  return std::visit(Evaluator{index}, request);
+}
+
 void OracleService::serve_one(Pending& pending) {
   const QueryType type = query_type(pending.request);
   TypeCounters& counters = counters_[static_cast<int>(type)];
+  TypeCounters& study_counters = *study_counters_[pending.study_ordinal];
   try {
-    OracleResponse response = answer(pending.request);
+    OracleResponse response =
+        std::visit(Evaluator{pending.index}, pending.request);
     const auto done = std::chrono::steady_clock::now();
-    counters.latency.record(static_cast<std::uint64_t>(
+    const auto nanos = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(done -
                                                              pending.enqueued)
-            .count()));
+            .count());
+    counters.latency.record(nanos);
     counters.served.fetch_add(1, std::memory_order_relaxed);
+    study_counters.latency.record(nanos);
+    study_counters.served.fetch_add(1, std::memory_order_relaxed);
     pending.promise.set_value(std::move(response));
   } catch (...) {
     pending.promise.set_exception(std::current_exception());
+  }
+  if (config_.cache_rebalance_every > 0 && catalog_ != nullptr) {
+    const std::uint64_t served =
+        served_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (served % config_.cache_rebalance_every == 0)
+      catalog_->rebalance_cache();
   }
 }
 
@@ -199,8 +250,20 @@ void OracleService::worker_main() {
 }
 
 OracleService::Submitted OracleService::submit(OracleRequest request) {
+  return submit(std::move(request), std::string_view{});
+}
+
+OracleService::Submitted OracleService::submit(OracleRequest request,
+                                               std::string_view study) {
   Pending pending;
   pending.request = std::move(request);
+  pending.index = resolve(study, &pending.study_ordinal);
+  if (pending.index == nullptr) {
+    unknown_study_.fetch_add(1, std::memory_order_relaxed);
+    Submitted shed;
+    shed.reject = Reject::kUnknownStudy;
+    return shed;
+  }
   pending.enqueued = std::chrono::steady_clock::now();
   std::future<OracleResponse> future = pending.promise.get_future();
   const QueryType type = query_type(pending.request);
@@ -209,13 +272,17 @@ OracleService::Submitted OracleService::submit(OracleRequest request) {
     if (stopping_ || queue_.size() >= config_.queue_capacity) {
       counters_[static_cast<int>(type)].rejected.fetch_add(
           1, std::memory_order_relaxed);
-      return Submitted{};  // Overload: shed rather than grow or stall.
+      study_counters_[pending.study_ordinal]->rejected.fetch_add(
+          1, std::memory_order_relaxed);
+      Submitted shed;  // Overload: shed rather than grow or stall.
+      shed.reject = Reject::kOverloaded;
+      return shed;
     }
     queue_.push_back(std::move(pending));
     peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
   }
   cv_.notify_one();
-  return Submitted{true, std::move(future)};
+  return Submitted{true, std::move(future), Reject::kNone};
 }
 
 std::size_t OracleService::drain(std::size_t max_requests) {
@@ -263,7 +330,39 @@ OracleStatsView OracleService::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     view.peak_queue_depth = peak_queue_depth_;
   }
-  view.cache = index_->cache_stats();
+  view.unknown_study = unknown_study_.load(std::memory_order_relaxed);
+
+  view.per_study.reserve(study_counters_.size());
+  for (std::size_t i = 0; i < study_counters_.size(); ++i) {
+    OracleStatsView::PerStudy per;
+    if (catalog_ != nullptr) {
+      per.name = catalog_->studies()[i]->name;
+      per.cache = catalog_->studies()[i]->index->cache_stats();
+    } else {
+      per.cache = index_->cache_stats();
+    }
+    const TypeCounters& c = *study_counters_[i];
+    per.served = c.served.load(std::memory_order_relaxed);
+    per.rejected = c.rejected.load(std::memory_order_relaxed);
+    per.p50_us = c.latency.quantile_us(0.50);
+    per.p99_us = c.latency.quantile_us(0.99);
+    view.per_study.push_back(std::move(per));
+  }
+
+  if (catalog_ == nullptr) {
+    view.cache = index_->cache_stats();
+  } else {
+    // Aggregate across studies; the capacity reported is the shared budget,
+    // not the sum of the (rebalancing) per-study quotas.
+    for (const OracleStatsView::PerStudy& per : view.per_study) {
+      view.cache.hits += per.cache.hits;
+      view.cache.misses += per.cache.misses;
+      view.cache.evictions += per.cache.evictions;
+      view.cache.entries += per.cache.entries;
+      view.cache.shards += per.cache.shards;
+    }
+    view.cache.capacity = catalog_->cache_budget().total_capacity;
+  }
   return view;
 }
 

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "serve/oracle_index.hpp"
+#include "serve/study_catalog.hpp"
 
 namespace irp {
 
@@ -153,14 +154,30 @@ struct OracleStatsView {
     double p50_us = 0;
     double p99_us = 0;
   };
+  struct PerStudy {
+    std::string name;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    ClassifyCache::Stats cache;
+  };
   std::array<PerType, kNumQueryTypes> per_type{};
+  /// One entry per hosted study (single-index services report one unnamed
+  /// entry); ordered by load order, [0] is the default study.
+  std::vector<PerStudy> per_study;
   std::uint64_t served = 0;
   std::uint64_t rejected = 0;
+  /// Submissions naming a study the service does not host.
+  std::uint64_t unknown_study = 0;
   std::size_t peak_queue_depth = 0;
+  /// Aggregated over every study (capacity = the shared budget).
   ClassifyCache::Stats cache;
 };
 
-/// Concurrent query server over one OracleIndex.
+/// Concurrent query server over one OracleIndex or a multi-study
+/// StudyCatalog (one shared admission queue and worker pool either way;
+/// requests carry an optional study id routed at submit time).
 class OracleService {
  public:
   struct Config {
@@ -169,29 +186,52 @@ class OracleService {
     /// Admission-control bound: submit() rejects once this many requests
     /// are queued (in-flight requests do not count).
     std::size_t queue_capacity = 1024;
+    /// Catalog mode only: every this-many served requests the shared
+    /// classify-cache budget is rebalanced by per-study hit rates
+    /// (StudyCatalog::rebalance_cache). 0 disables periodic rebalancing.
+    std::uint64_t cache_rebalance_every = 0;
   };
 
   OracleService(const OracleIndex* index, Config config);
   explicit OracleService(const OracleIndex* index);
+  /// Serves every study in `catalog` (which must be fully loaded and must
+  /// outlive the service); "" routes to the catalog's default study.
+  OracleService(const StudyCatalog* catalog, Config config);
   ~OracleService();
 
   OracleService(const OracleService&) = delete;
   OracleService& operator=(const OracleService&) = delete;
 
-  /// Admission result: `accepted == false` means the queue was full (or the
-  /// service is shutting down) and the request was shed; the future is only
-  /// valid when accepted.
+  /// Why a submission was not accepted.
+  enum class Reject : std::uint8_t {
+    kNone = 0,       ///< Accepted.
+    kOverloaded,     ///< Queue full or shutting down; retryable.
+    kUnknownStudy,   ///< Study id matches nothing hosted; not retryable.
+  };
+
+  /// Admission result: `accepted == false` means the request was shed
+  /// (`reject` says why); the future is only valid when accepted.
   struct Submitted {
     bool accepted = false;
     std::future<OracleResponse> response;
+    Reject reject = Reject::kNone;
   };
 
-  /// Enqueues a query; never blocks.
+  /// Enqueues a query against the default study; never blocks.
   Submitted submit(OracleRequest request);
+
+  /// Enqueues a query against study `study` ("" = default); never blocks.
+  /// An id the service does not host rejects with Reject::kUnknownStudy.
+  Submitted submit(OracleRequest request, std::string_view study);
 
   /// Evaluates a query synchronously on the calling thread (bypasses the
   /// queue; same deterministic answer the workers would produce).
   OracleResponse answer(const OracleRequest& request) const;
+
+  /// Synchronous evaluation against study `study` ("" = default); throws
+  /// UnknownStudyError for ids the service does not host.
+  OracleResponse answer(const OracleRequest& request,
+                        std::string_view study) const;
 
   /// Serves up to `max_requests` queued requests on the calling thread, in
   /// FIFO order; returns how many were served. The deterministic mode's
@@ -210,6 +250,9 @@ class OracleService {
  private:
   struct Pending {
     OracleRequest request;
+    /// Resolved at submit time, so workers never re-run study lookup.
+    const OracleIndex* index = nullptr;
+    std::uint32_t study_ordinal = 0;
     std::promise<OracleResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
@@ -220,10 +263,15 @@ class OracleService {
     LatencyHistogram latency;
   };
 
+  /// Resolves a study id to its index; nullptr = unknown. `ordinal` gets
+  /// the per-study counter slot on success.
+  const OracleIndex* resolve(std::string_view study,
+                             std::uint32_t* ordinal) const;
   void serve_one(Pending& pending);
   void worker_main();
 
-  const OracleIndex* index_;
+  const OracleIndex* index_;           ///< Default study's index.
+  const StudyCatalog* catalog_;        ///< nullptr in single-index mode.
   Config config_;
 
   mutable std::mutex mu_;
@@ -234,6 +282,11 @@ class OracleService {
   std::vector<std::thread> workers_;
 
   mutable std::array<TypeCounters, kNumQueryTypes> counters_;
+  /// One slot per study (slot 0 in single-index mode); heap-allocated
+  /// because the atomics are not movable.
+  std::vector<std::unique_ptr<TypeCounters>> study_counters_;
+  mutable std::atomic<std::uint64_t> unknown_study_{0};
+  std::atomic<std::uint64_t> served_total_{0};
 };
 
 }  // namespace irp

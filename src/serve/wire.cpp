@@ -270,6 +270,7 @@ std::string_view wire_error_code_name(WireErrorCode code) {
     case WireErrorCode::kMalformedRequest: return "malformed_request";
     case WireErrorCode::kShuttingDown: return "shutting_down";
     case WireErrorCode::kInternal: return "internal";
+    case WireErrorCode::kUnknownStudy: return "unknown_study";
   }
   IRP_UNREACHABLE("bad wire error code");
 }
@@ -288,16 +289,27 @@ std::string_view wire_fault_name(WireFault fault) {
 }
 
 std::string encode_frame(const WireFrame& frame) {
+  // Emit the lowest version that can carry the frame: without a study id
+  // the bytes are exactly the version-1 encoding, so pre-multi-study peers
+  // keep understanding everything a default-study client sends.
+  std::string body;
+  if (!frame.study.empty()) {
+    ByteWriter prefix;
+    prefix.str(frame.study);
+    body = prefix.take();
+  }
+  body += frame.payload;
+
   ByteWriter w;
   w.u32(kWireMagic);
-  w.u16(kWireVersion);
+  w.u16(frame.study.empty() ? kWireVersionMin : kWireVersion);
   w.u8(static_cast<std::uint8_t>(frame.type));
-  w.u8(0);  // flags, reserved.
+  w.u8(frame.study.empty() ? 0 : kWireFlagStudy);
   w.u64(frame.request_id);
-  w.u32(static_cast<std::uint32_t>(frame.payload.size()));
-  w.u64(fnv1a64(frame.payload));
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.u64(fnv1a64(body));
   std::string out = w.take();
-  out += frame.payload;
+  out += body;
   return out;
 }
 
@@ -310,17 +322,21 @@ std::optional<WireFrame> try_decode_frame(std::string& buffer,
   if (magic != kWireMagic)
     fail(WireFault::kBadMagic, "stream does not start with IRPW");
   const std::uint16_t version = header.u16();
-  if (version != kWireVersion)
+  if (version < kWireVersionMin || version > kWireVersion)
     fail(WireFault::kBadVersion,
          "got version " + std::to_string(version) + ", speak " +
+             std::to_string(kWireVersionMin) + ".." +
              std::to_string(kWireVersion));
   const std::uint8_t raw_type = header.u8();
   if (!valid_frame_type(raw_type))
     fail(WireFault::kBadType,
          "frame type " + std::to_string(raw_type) + " unknown");
   const std::uint8_t flags = header.u8();
-  if (flags != 0)
-    fail(WireFault::kBadFlags, "flags must be 0 in version 1");
+  const std::uint8_t known_flags = version >= 2 ? kWireFlagStudy : 0;
+  if ((flags & ~known_flags) != 0)
+    fail(WireFault::kBadFlags,
+         version >= 2 ? "reserved flag bits set in version 2 frame"
+                      : "flags must be 0 in version 1");
   const std::uint64_t request_id = header.u64();
   const std::uint32_t payload_size = header.u32();
   if (payload_size > max_payload)
@@ -337,14 +353,30 @@ std::optional<WireFrame> try_decode_frame(std::string& buffer,
   if (fnv1a64(frame.payload) != checksum)
     fail(WireFault::kChecksumMismatch, "payload corrupted in transit");
   buffer.erase(0, kWireHeaderBytes + payload_size);
+  if ((flags & kWireFlagStudy) != 0) {
+    // Peel the study-id prefix off the (checksum-verified) payload. A prefix
+    // that does not parse is a framing-level fault: the peer claimed the
+    // flag but did not encode the prefix, so nothing after it is trustable.
+    try {
+      ByteReader r{frame.payload, std::string(kContext)};
+      frame.study = r.str();
+      frame.payload = frame.payload.substr(frame.payload.size() -
+                                           r.remaining());
+    } catch (const CheckError& e) {
+      fail(WireFault::kMalformedPayload,
+           std::string("study-id prefix undecodable — ") + e.what());
+    }
+  }
   return frame;
 }
 
 std::string encode_request(std::uint64_t request_id,
-                           const OracleRequest& request) {
+                           const OracleRequest& request,
+                           std::string_view study) {
   WireFrame frame;
   frame.type = static_cast<FrameType>(request.index());
   frame.request_id = request_id;
+  frame.study = std::string(study);
   ByteWriter w;
   std::visit(RequestEncoder{w}, request);
   frame.payload = w.take();
@@ -399,7 +431,7 @@ std::variant<OracleResponse, WireError> decode_reply(const WireFrame& frame) {
     if (frame.type == FrameType::kError) {
       WireError err;
       const std::uint8_t code = r.u8();
-      IRP_CHECK(code >= 1 && code <= 4, "wire: error code out of range");
+      IRP_CHECK(code >= 1 && code <= 5, "wire: error code out of range");
       err.code = static_cast<WireErrorCode>(code);
       err.message = r.str();
       IRP_CHECK(r.remaining() == 0, "wire: trailing bytes in error payload");

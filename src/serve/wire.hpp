@@ -32,10 +32,15 @@
 //     caller, kMalformedRequest reports a payload the server could frame-
 //     decode but not request-decode.
 //
-// Version policy: the protocol is versioned as a whole; a server speaks
-// exactly one version and rejects the rest (kBadVersion). The reserved
-// flags byte exists so a future version can negotiate without moving any
-// header field.
+// Version policy: the protocol is versioned as a whole; a receiver accepts
+// the closed range [kWireVersionMin, kWireVersion] and rejects the rest
+// (kBadVersion). Version 2 carves the kWireFlagStudy bit out of the
+// reserved flags byte: when set, the payload is prefixed with a
+// length-delimited study id that routes the request to one of several
+// studies hosted behind the endpoint (serve/study_catalog.hpp). Encoders
+// emit the lowest version that can carry the frame — a frame with no study
+// id is bit-for-bit identical to its version-1 encoding, so old clients
+// and old servers interoperate against the default study unchanged.
 #pragma once
 
 #include <cstdint>
@@ -51,7 +56,16 @@ namespace irp {
 
 /// "IRPW" in little-endian byte order.
 inline constexpr std::uint32_t kWireMagic = 0x57505249u;
-inline constexpr std::uint16_t kWireVersion = 1;
+/// Highest protocol version this build speaks (and the version emitted for
+/// frames that need version-2 features).
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Lowest protocol version still accepted; version-1 frames are the
+/// pre-multi-study encoding and always address the default study.
+inline constexpr std::uint16_t kWireVersionMin = 1;
+/// Version-2 flag bit: the payload starts with a length-delimited study id
+/// (u32 length + bytes) addressing one study of a multi-study server. All
+/// other flag bits remain reserved and must be 0.
+inline constexpr std::uint8_t kWireFlagStudy = 0x01;
 inline constexpr std::size_t kWireHeaderBytes = 28;
 /// Default upper bound on payload_size; frames claiming more are rejected
 /// from the header alone (kOversized), so a hostile peer cannot make the
@@ -84,6 +98,7 @@ enum class WireErrorCode : std::uint8_t {
   kMalformedRequest = 2,  ///< Request payload undecodable; not retryable.
   kShuttingDown = 3,      ///< Server is draining; retryable elsewhere/later.
   kInternal = 4,          ///< Evaluation threw; not retryable.
+  kUnknownStudy = 5,      ///< Study id matches no hosted study; not retryable.
 };
 std::string_view wire_error_code_name(WireErrorCode code);
 
@@ -112,10 +127,12 @@ class WireDecodeError : public CheckError {
 };
 
 /// One parsed frame: type + request id + raw (already checksum-verified)
-/// payload bytes.
+/// payload bytes. `study` is the multi-study routing id ("" = default
+/// study); it rides in a version-2 payload prefix, never in `payload`.
 struct WireFrame {
   FrameType type = FrameType::kError;
   std::uint64_t request_id = 0;
+  std::string study;
   std::string payload;
 };
 
@@ -127,7 +144,10 @@ struct WireError {
 
 // -- Frame layer.
 
-/// Serializes header + payload (checksum computed here).
+/// Serializes header + payload (checksum computed here). An empty
+/// `frame.study` produces the version-1 encoding; a nonempty one produces a
+/// version-2 frame with kWireFlagStudy set and the study id prefixed to the
+/// payload (the checksum and payload_size cover the prefix).
 std::string encode_frame(const WireFrame& frame);
 
 /// Incremental stream decoder: returns nullopt when `buffer` does not yet
@@ -140,8 +160,11 @@ std::optional<WireFrame> try_decode_frame(
 
 // -- Message layer.
 
+/// Encodes a request frame; a nonempty `study` routes it to that study on a
+/// multi-study server (version-2 frame), "" keeps the version-1 encoding.
 std::string encode_request(std::uint64_t request_id,
-                           const OracleRequest& request);
+                           const OracleRequest& request,
+                           std::string_view study = {});
 std::string encode_response(std::uint64_t request_id,
                             const OracleResponse& response);
 std::string encode_error(std::uint64_t request_id, WireErrorCode code,

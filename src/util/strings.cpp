@@ -61,4 +61,24 @@ std::string fixed(double value, int decimals) {
   return buf;
 }
 
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // Overflow.
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64_in(std::string_view s,
+                                          std::uint64_t min,
+                                          std::uint64_t max) {
+  const std::optional<std::uint64_t> value = parse_u64(s);
+  if (!value || *value < min || *value > max) return std::nullopt;
+  return value;
+}
+
 }  // namespace irp

@@ -1,6 +1,8 @@
 // Small string utilities shared across the library.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,5 +32,16 @@ std::string percent(double fraction, int decimals = 1);
 
 /// Formats a double with fixed decimals.
 std::string fixed(double value, int decimals);
+
+/// Strict decimal parse of the whole string: no sign, no whitespace, no
+/// trailing characters, no overflow. nullopt on any violation — unlike
+/// atoi/strtoull, "abc", "12abc", "" and "-1" all fail instead of becoming
+/// 0 or wrapping. The CLI's checked flag parsing is built on this.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// parse_u64 plus an inclusive range check.
+std::optional<std::uint64_t> parse_u64_in(std::string_view s,
+                                          std::uint64_t min,
+                                          std::uint64_t max);
 
 }  // namespace irp

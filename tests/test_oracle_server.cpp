@@ -18,9 +18,12 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -449,6 +452,62 @@ TEST(OracleServerE2E, ShutdownDrainsThenRefusesNewConnections) {
   }
 
   server.reset();  // Destructor after explicit shutdown is a no-op.
+  service.shutdown();
+}
+
+// -- EINTR injection: client calls must survive interrupted syscalls.
+
+std::atomic<int> g_sigusr1_count{0};
+void count_sigusr1(int) { g_sigusr1_count.fetch_add(1); }
+
+TEST(OracleClientRobustness, CallsSurviveInterruptedSyscalls) {
+  const ServerFixture& f = fixture();
+  OracleService service(f.index.get(), OracleService::Config{2, 256});
+  OracleServer server(&service);
+  server.start();
+
+  OracleClient::Config cc;
+  cc.port = server.port();
+  cc.max_retries = 0;  // EINTR must be absorbed below the retry layer.
+  OracleClient client(cc);
+  // Establish the connection before the signal storm starts; the EINTR
+  // contract under test is send_all/read_frame, not the connect handshake.
+  ASSERT_EQ(to_text(client.call(f.queries[0])),
+            to_text(service.answer(f.queries[0])));
+
+  // A handler installed WITHOUT SA_RESTART makes every signal delivery fail
+  // the interrupted syscall with EINTR instead of restarting it.
+  struct sigaction sa {}, old {};
+  sa.sa_handler = count_sigusr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  // Pepper only this thread — the one blocking in the client's
+  // send/poll/recv — with signals for the duration of the query stream.
+  std::atomic<bool> done{false};
+  const pthread_t victim = pthread_self();
+  std::thread pepper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  int mismatches = 0;
+  for (int round = 0; round < 2; ++round)
+    for (const OracleRequest& request : f.queries)
+      if (to_text(client.call(request)) != to_text(service.answer(request)))
+        ++mismatches;
+  EXPECT_EQ(mismatches, 0);
+
+  done.store(true);
+  pepper.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old, nullptr), 0);
+  // Prove the storm actually happened — otherwise the test proves nothing.
+  EXPECT_GT(g_sigusr1_count.load(), 100);
+
+  server.shutdown();
   service.shutdown();
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/byte_io.hpp"
 #include "serve/wire.hpp"
 
 namespace irp {
@@ -355,6 +356,94 @@ TEST(Wire, RejectsBadEnumValuesInReplies) {
   } catch (const WireDecodeError& e) {
     EXPECT_EQ(e.fault(), WireFault::kMalformedPayload);
   }
+}
+
+// -- Study-tagged frames (wire version 2). A nonempty study id bumps the
+// version and sets kWireFlagStudy; an empty one must encode exactly the
+// version-1 bytes so pre-multi-study peers interoperate unchanged.
+
+TEST(WireStudy, StudyRequestRoundTrips) {
+  const OracleRequest request{example_classify_request()};
+  const std::string plain = encode_request(7, request);
+  const std::string tagged = encode_request(7, request, "epoch-b");
+
+  // Header: version 2, study flag set; the study prefix rides in the
+  // payload, so the frame is longer by str("epoch-b") = 4 + 7 bytes.
+  EXPECT_EQ(static_cast<unsigned char>(tagged[4]), 2);
+  EXPECT_EQ(static_cast<unsigned char>(tagged[7]), kWireFlagStudy);
+  EXPECT_EQ(tagged.size(), plain.size() + 4 + 7);
+
+  const WireFrame frame = decode_one(tagged);
+  EXPECT_EQ(frame.study, "epoch-b");
+  EXPECT_EQ(frame.request_id, 7u);
+  // After the prefix is peeled, the payload is the version-1 payload and
+  // decodes to the same request.
+  EXPECT_EQ(encode_request(7, decode_request(frame)), plain);
+  // Re-encoding the decoded frame (study and all) reproduces the bytes.
+  EXPECT_EQ(encode_frame(frame), tagged);
+}
+
+TEST(WireStudy, EmptyStudyEncodesExactVersion1Bytes) {
+  const OracleRequest request{RelationshipLookupRequest{3, 9}};
+  EXPECT_EQ(encode_request(1, request, ""), encode_request(1, request));
+  const std::string bytes = encode_request(1, request);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 1);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[7]), 0);
+}
+
+TEST(WireStudy, Version2WithoutStudyFlagDecodes) {
+  // A v2 peer may emit flags == 0 (no study); the payload then has no
+  // prefix. The checksum covers only the payload, so patching the version
+  // byte alone yields a valid frame.
+  std::string bytes =
+      encode_request(1, OracleRequest{RelationshipLookupRequest{3, 9}});
+  bytes[4] = 2;
+  const WireFrame frame = decode_one(bytes);
+  EXPECT_TRUE(frame.study.empty());
+  (void)decode_request(frame);
+}
+
+TEST(WireStudy, RejectsReservedFlagBitsInVersion2) {
+  std::string bytes =
+      encode_request(1, OracleRequest{RelationshipLookupRequest{3, 9}});
+  bytes[4] = 2;
+  bytes[7] = 0x02;  // Not kWireFlagStudy; reserved even in v2.
+  EXPECT_EQ(fault_of(bytes), WireFault::kBadFlags);
+}
+
+TEST(WireStudy, RejectsVersionJustAboveRange) {
+  std::string bytes =
+      encode_request(1, OracleRequest{RelationshipLookupRequest{3, 9}});
+  bytes[4] = 3;  // The exact upper bound, not just 99.
+  EXPECT_EQ(fault_of(bytes), WireFault::kBadVersion);
+}
+
+TEST(WireStudy, UnknownStudyErrorRoundTrips) {
+  const std::string bytes =
+      encode_error(9, WireErrorCode::kUnknownStudy, "unknown study 'x'");
+  const WireFrame frame = decode_one(bytes);
+  const auto reply = decode_reply(frame);
+  const auto& err = std::get<WireError>(reply);
+  EXPECT_EQ(err.code, WireErrorCode::kUnknownStudy);
+  EXPECT_EQ(err.message, "unknown study 'x'");
+  EXPECT_EQ(wire_error_code_name(err.code), "unknown_study");
+}
+
+TEST(WireStudy, RejectsUndecodableStudyPrefix) {
+  // Flag claimed, but the prefix's length word runs past the payload: a
+  // framing-level fault, not a per-request decode error.
+  ByteWriter body;
+  body.u32(1000);  // str() length far beyond the body.
+  const std::string body_bytes = body.take();
+  ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(2);
+  w.u8(0x03);  // relationship_request
+  w.u8(kWireFlagStudy);
+  w.u64(1);
+  w.u32(static_cast<std::uint32_t>(body_bytes.size()));
+  w.u64(fnv1a64(body_bytes));
+  EXPECT_EQ(fault_of(w.take() + body_bytes), WireFault::kMalformedPayload);
 }
 
 // -- The golden bytes behind docs/PROTOCOL.md's worked example. If this

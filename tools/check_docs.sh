@@ -97,6 +97,16 @@ for sub in $subcommands; do
     fail "docs mention run_study_cli subcommand '$sub' unknown to $cli_src"
 done
 
+# -- 3. The reverse: every flag the CLI actually accepts (an `arg == "--x"`
+# comparison in the source) must appear somewhere in the docs, so a new flag
+# cannot ship undocumented.
+src_flags=$(grep -ohE 'arg == "--[a-z-]+"' "$cli_src" |
+  grep -oE -- '--[a-z-]+' | sort -u)
+for flag in $src_flags; do
+  grep -qF -- "$flag" $docs || \
+    fail "CLI flag '$flag' is accepted by $cli_src but undocumented"
+done
+
 if [ "$status" -eq 0 ]; then
   echo "docs-check: ok ($(printf '%s\n' $docs | wc -l | tr -d ' ') docs," \
        "$(printf '%s\n' $flags | wc -l | tr -d ' ') CLI flags verified)"
